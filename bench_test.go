@@ -1,0 +1,397 @@
+// Benchmark harness: one benchmark per paper table and figure, plus the
+// ablations called out in DESIGN.md §6. Each benchmark regenerates the
+// corresponding artefact and reports the headline quantities through
+// b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the paper's evaluation at laptop scale. Set
+// EDEM_BENCH_SCALE=paper for campaign sizes closer to the paper's
+// (every bit position, more test cases); the default keeps the full
+// 18-dataset sweep in the minutes range.
+package edem
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"edem/internal/core"
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/mining/bayes"
+	"edem/internal/mining/costs"
+	"edem/internal/mining/eval"
+	"edem/internal/mining/knn"
+	"edem/internal/mining/logreg"
+	"edem/internal/mining/rules"
+	"edem/internal/mining/sampling"
+	"edem/internal/mining/tree"
+	"edem/internal/predicate"
+	"edem/internal/stats"
+)
+
+// benchOpts returns the campaign scale used by the benchmarks.
+func benchOpts() core.Options {
+	opts := core.DefaultOptions()
+	if os.Getenv("EDEM_BENCH_SCALE") == "paper" {
+		opts.BitStride = 1
+		opts.TestCases = 25
+		return opts
+	}
+	// Laptop scale: fewer workloads, strided low mantissa bits. The
+	// dense sign/exponent coverage is kept (see propane.BitPlan).
+	opts.TestCases = 6
+	opts.BitStride = 4
+	return opts
+}
+
+// datasetCache builds each fault-injection dataset once per process; the
+// campaigns are deterministic so sharing them across benchmarks only
+// removes redundant work.
+var datasetCache sync.Map // id -> *dataset.Dataset
+
+func benchDataset(b *testing.B, id string) *dataset.Dataset {
+	b.Helper()
+	if d, ok := datasetCache.Load(id); ok {
+		return d.(*dataset.Dataset)
+	}
+	d, _, err := core.BuildDataset(context.Background(), id, benchOpts())
+	if err != nil {
+		b.Fatalf("build dataset %s: %v", id, err)
+	}
+	datasetCache.Store(id, d)
+	return d
+}
+
+// -----------------------------------------------------------------------------
+// Table I — confusion matrix metrics (definitional micro-benchmark).
+
+func BenchmarkTable1_ConfusionMetrics(b *testing.B) {
+	cm := eval.NewConfusionMatrix([]string{"nonfailure", "failure"})
+	for i := 0; i < 1000; i++ {
+		_ = cm.Record(i%2, (i/3)%2, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bin := cm.Binary(1)
+		_ = bin.TPR()
+		_ = bin.FPR()
+		_ = bin.AUC()
+		_ = bin.F1()
+		_ = bin.GeometricMean()
+		_ = bin.DistanceFromPerfect()
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Table II — the 18 fault-injection campaigns.
+
+func BenchmarkTable2_CampaignGeneration(b *testing.B) {
+	opts := benchOpts()
+	for _, id := range core.AllDatasetIDs() {
+		id := id
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				camp, err := core.Campaign(context.Background(), id, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(camp.Usable()), "instances")
+				b.ReportMetric(float64(camp.Failures()), "failures")
+			}
+		})
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Table III — baseline decision tree induction (no sampling).
+
+func BenchmarkTable3_BaselineInduction(b *testing.B) {
+	opts := benchOpts()
+	for _, id := range core.AllDatasetIDs() {
+		id := id
+		b.Run(id, func(b *testing.B) {
+			d := benchDataset(b, id)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cv, err := core.Baseline(d, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cv.MeanTPR, "TPR")
+				b.ReportMetric(cv.MeanFPR, "FPR")
+				b.ReportMetric(cv.MeanAUC, "AUC")
+				b.ReportMetric(cv.MeanComp, "nodes")
+			}
+		})
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Table IV — model refinement over the sampling grid.
+
+func BenchmarkTable4_Refinement(b *testing.B) {
+	opts := benchOpts()
+	grid := core.RefineGrid(false)
+	for _, id := range core.AllDatasetIDs() {
+		id := id
+		b.Run(id, func(b *testing.B) {
+			d := benchDataset(b, id)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ref, err := core.Refine(context.Background(), d, grid, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(ref.BestCV.MeanTPR, "TPR")
+				b.ReportMetric(ref.BestCV.MeanFPR, "FPR")
+				b.ReportMetric(ref.BestCV.MeanAUC, "AUC")
+				b.ReportMetric(ref.BestCV.MeanComp, "nodes")
+			}
+		})
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Figure 2 — decision tree induction and predicate extraction.
+
+func BenchmarkFigure2_TreeToPredicate(b *testing.B) {
+	d := benchDataset(b, "FG-A2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := core.DefaultLearner().FitTree(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred, err := predicate.FromTree(t, eval.PositiveClass, "FG-A2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(t.Size()), "nodes")
+		b.ReportMetric(float64(pred.Complexity()), "atoms")
+	}
+}
+
+// -----------------------------------------------------------------------------
+// §VII-D — deployed-detector re-validation.
+
+func BenchmarkValidation_DeployedDetector(b *testing.B) {
+	opts := benchOpts()
+	d := benchDataset(b, "MG-B1")
+	t, err := core.DefaultLearner().FitTree(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := predicate.FromTree(t, eval.PositiveClass, "MG-B1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		val, err := core.ValidateDetector(context.Background(), "MG-B1", pred, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(val.Counts.TPR(), "TPR")
+		b.ReportMetric(val.Counts.FPR(), "FPR")
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Ablation: gain ratio vs plain information gain (DESIGN.md §6).
+
+func BenchmarkAblation_SplitCriterion(b *testing.B) {
+	d := benchDataset(b, "7Z-B1")
+	for _, tt := range []struct {
+		name string
+		cfg  tree.Config
+	}{
+		{"gain-ratio", tree.Config{}},
+		{"plain-gain", tree.Config{PlainGain: true}},
+	} {
+		tt := tt
+		b.Run(tt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cv, err := eval.CrossValidate(tree.Learner{Config: tt.cfg}, d, eval.CVConfig{Folds: 10, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cv.MeanAUC, "AUC")
+				b.ReportMetric(cv.MeanComp, "nodes")
+			}
+		})
+	}
+}
+
+// Ablation: pessimistic pruning on/off and confidence-factor sweep.
+
+func BenchmarkAblation_Pruning(b *testing.B) {
+	d := benchDataset(b, "FG-B1")
+	configs := []struct {
+		name string
+		cfg  tree.Config
+	}{
+		{"pruned-cf0.25", tree.Config{}},
+		{"pruned-cf0.10", tree.Config{ConfidenceFactor: 0.10}},
+		{"pruned-cf0.40", tree.Config{ConfidenceFactor: 0.40}},
+		{"unpruned", tree.Config{NoPrune: true}},
+	}
+	for _, tt := range configs {
+		tt := tt
+		b.Run(tt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cv, err := eval.CrossValidate(tree.Learner{Config: tt.cfg}, d, eval.CVConfig{Folds: 10, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cv.MeanAUC, "AUC")
+				b.ReportMetric(cv.MeanComp, "nodes")
+			}
+		})
+	}
+}
+
+// Ablation: SMOTE interpolation vs oversampling with replacement (q=0).
+
+func BenchmarkAblation_SMOTEvsReplacement(b *testing.B) {
+	d := benchDataset(b, "FG-B1")
+	transforms := []struct {
+		name string
+		tf   eval.TrainTransform
+	}{
+		{"smote-500-k5", func(t *dataset.Dataset, rng *stats.RNG) (*dataset.Dataset, error) {
+			return sampling.SMOTE(t, eval.PositiveClass, 500, 5, rng)
+		}},
+		{"replacement-500", func(t *dataset.Dataset, rng *stats.RNG) (*dataset.Dataset, error) {
+			return sampling.Oversample(t, eval.PositiveClass, 500, rng)
+		}},
+	}
+	for _, tt := range transforms {
+		tt := tt
+		b.Run(tt.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cv, err := eval.CrossValidate(tree.Learner{}, d, eval.CVConfig{Folds: 10, Seed: 1, Transform: tt.tf})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cv.MeanAUC, "AUC")
+				b.ReportMetric(cv.MeanTPR, "TPR")
+			}
+		})
+	}
+}
+
+// Ablation: learner comparison on identical folds — supports the
+// paper's choice of symbolic learners for detector predicates.
+
+func BenchmarkAblation_LearnerComparison(b *testing.B) {
+	d := benchDataset(b, "MG-A1")
+	learners := []mining.Learner{
+		tree.Learner{},
+		costs.CostSensitiveLearner{Base: tree.Learner{}, Costs: costs.FalseNegativePenalty(10)},
+		bayes.Learner{},
+		bayes.Learner{LogMap: true},
+		logreg.Learner{},
+		rules.ZeroR{},
+		rules.OneR{},
+		rules.PRISM{},
+		knn.Learner{K: 3},
+	}
+	for _, l := range learners {
+		l := l
+		b.Run(l.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cv, err := eval.CrossValidate(l, d, eval.CVConfig{Folds: 5, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(cv.MeanAUC, "AUC")
+				b.ReportMetric(cv.MeanTPR, "TPR")
+				b.ReportMetric(cv.MeanFPR, "FPR")
+			}
+		})
+	}
+}
+
+// Micro-benchmarks of the hot paths: induction, sampling, prediction.
+
+func BenchmarkMicro_C45Induction(b *testing.B) {
+	d := benchDataset(b, "FG-A2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.DefaultLearner().FitTree(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_SMOTE(b *testing.B) {
+	d := benchDataset(b, "FG-B1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampling.SMOTE(d, eval.PositiveClass, 300, 5, stats.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMicro_PredicateEval(b *testing.B) {
+	d := benchDataset(b, "FG-A2")
+	t, err := core.DefaultLearner().FitTree(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred, err := predicate.FromTree(t, eval.PositiveClass, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := make([][]float64, 0, 256)
+	for i := 0; i < 256 && i < d.Len(); i++ {
+		states = append(states, d.Instances[i].Values)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = pred.Eval(states[i%len(states)])
+	}
+}
+
+func sinkTable(rows []core.Row) string { return core.FormatTable("bench", rows) }
+
+// BenchmarkTables_EndToEnd regenerates Table III rows end to end
+// (campaign + preprocessing + cross-validation) for one dataset per
+// target system — the full per-row cost of the harness.
+func BenchmarkTables_EndToEnd(b *testing.B) {
+	opts := benchOpts()
+	for _, id := range []string{"7Z-A1", "FG-B1", "MG-B1"} {
+		id := id
+		b.Run(id, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := core.Table3Row(context.Background(), id, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = sinkTable([]core.Row{row})
+				b.ReportMetric(row.AUC, "AUC")
+			}
+		})
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt for ad-hoc debugging of bench output
+
+// Ablation: learnt predicate vs the golden-range executable assertion
+// (the specification-derived detector family of paper §II-A).
+func BenchmarkAblation_RangeCheckEA(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		cmp, err := core.CompareWithRangeCheckEA(context.Background(), "MG-B1", 0.05, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.RangeCheck.AUC(), "EA-AUC")
+		b.ReportMetric(cmp.Learned.AUC(), "learned-AUC")
+	}
+}

@@ -1,0 +1,441 @@
+// Command edem drives the methodology from the command line:
+//
+//	edem tables -table 2|3|4        regenerate a paper table
+//	edem run -dataset FG-A2         run Steps 1-4 on one dataset
+//	edem tree -dataset FG-A2        print the induced tree (Figure 2)
+//	edem inject -dataset 7Z-B1      run Step 1 and dump PROPANE log/ARFF
+//	edem validate -dataset MG-B1    deploy the predicate and re-inject
+//	edem list                       list the Table II dataset IDs
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"edem/internal/core"
+	"edem/internal/dataset"
+	"edem/internal/mining/attrsel"
+	"edem/internal/mining/eval"
+	"edem/internal/mining/rules"
+	"edem/internal/predicate"
+	"edem/internal/propane"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edem:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "tables":
+		return cmdTables(rest)
+	case "run":
+		return cmdRun(rest)
+	case "tree":
+		return cmdTree(rest)
+	case "inject":
+		return cmdInject(rest)
+	case "validate":
+		return cmdValidate(rest)
+	case "latency":
+		return cmdLatency(rest)
+	case "rules":
+		return cmdRules(rest)
+	case "rank":
+		return cmdRank(rest)
+	case "list":
+		return cmdList()
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: edem <command> [flags]
+
+commands:
+  tables    -table 2|3|4 [-full] [-scale N] [-stride N]   regenerate a paper table
+  run       -dataset ID [-full]                           run Steps 1-4 on one dataset
+  tree      -dataset ID                                   print the induced tree (Figure 2)
+  inject    -dataset ID [-log F] [-arff F]                run Step 1, dump PROPANE log / ARFF
+  validate  -dataset ID [-full]                           learn, deploy and re-validate a detector
+  latency   -dataset ID                                   trace detection latency of a learnt detector
+  rules     -dataset ID                                   learn a PRISM rule-induction predicate instead
+  rank      -dataset ID [-method ig|gr|su]                rank the module variables by class information
+  list                                                    list Table II dataset IDs
+`)
+}
+
+func commonOpts(fs *flag.FlagSet) *core.Options {
+	opts := core.DefaultOptions()
+	fs.Uint64Var(&opts.Seed, "seed", opts.Seed, "experiment seed")
+	fs.IntVar(&opts.TestCases, "scale", opts.TestCases, "test cases for 7Z/MG campaigns")
+	fs.IntVar(&opts.BitStride, "stride", opts.BitStride, "bit sampling stride (1 = every bit, the paper's setting)")
+	fs.IntVar(&opts.Workers, "workers", 0, "parallel workers (0 = all cores)")
+	return &opts
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	table := fs.Int("table", 3, "table number: 2, 3 or 4")
+	full := fs.Bool("full", false, "use the paper-scale refinement grid (table 4)")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch *table {
+	case 1:
+		fmt.Println("Table I: confusion matrix structure")
+		cm := eval.NewConfusionMatrix([]string{"Pos.", "Neg."})
+		fmt.Print(cm.String())
+		fmt.Println("TP/FN/FP/TN cells; see internal/mining/eval.")
+		return nil
+	case 2:
+		rows, err := core.Table2(ctx, *opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.FormatTable2Rows(rows))
+		return nil
+	case 3:
+		var rows []core.Row
+		for _, id := range core.AllDatasetIDs() {
+			row, err := core.Table3Row(ctx, id, *opts)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "  %s done\n", id)
+		}
+		fmt.Print(core.FormatTable("Table III: decision tree induction results (no sampling)", rows))
+		return nil
+	case 4:
+		grid := core.RefineGrid(*full)
+		var rows []core.Row
+		for _, id := range core.AllDatasetIDs() {
+			row, err := core.Table4Row(ctx, id, grid, *opts)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "  %s done\n", id)
+		}
+		fmt.Print(core.FormatTable("Table IV: decision tree induction results (refined)", rows))
+		return nil
+	default:
+		return fmt.Errorf("unknown table %d", *table)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	id := fs.String("dataset", "FG-A2", "Table II dataset ID")
+	full := fs.Bool("full", false, "use the paper-scale refinement grid")
+	save := fs.String("save", "", "write the learnt predicate (JSON) to this file")
+	report := fs.String("report", "", "write a markdown generation report to this file")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := core.RunMethodology(context.Background(), *id, core.RefineGrid(*full), *opts)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+	if *save != "" {
+		data, err := rep.Predicate.MarshalText()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote predicate:", *save)
+	}
+	if *report != "" {
+		if err := writeFile(*report, func(f *os.File) error { return core.WriteReport(f, rep) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote report:", *report)
+	}
+	return nil
+}
+
+func printReport(rep *core.Report) {
+	fmt.Printf("dataset %s: %d instances, %d failure-inducing\n", rep.ID, rep.Instances, rep.Failures)
+	b := rep.Baseline
+	fmt.Printf("baseline:  FPR=%.2e TPR=%.4f AUC=%.4f Comp=%.1f Var=%.2e\n",
+		b.MeanFPR, b.MeanTPR, b.MeanAUC, b.MeanComp, b.VarAUC)
+	r := rep.Refined.BestCV
+	fmt.Printf("refined:   FPR=%.2e TPR=%.4f AUC=%.4f Comp=%.1f Var=%.2e  (S=%s N=%s)\n",
+		r.MeanFPR, r.MeanTPR, r.MeanAUC, r.MeanComp, r.VarAUC,
+		rep.Refined.Best.Label(), rep.Refined.Best.KLabel())
+	fmt.Printf("\ndetector predicate (%d clauses, %d atoms):\n%s\n",
+		len(rep.Predicate.Clauses), rep.Predicate.Complexity(), rep.Predicate)
+}
+
+func cmdTree(args []string) error {
+	fs := flag.NewFlagSet("tree", flag.ContinueOnError)
+	id := fs.String("dataset", "FG-A2", "Table II dataset ID")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	d, _, err := core.BuildDataset(ctx, *id, *opts)
+	if err != nil {
+		return err
+	}
+	t, err := core.DefaultLearner().FitTree(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("decision tree for %s (%d nodes, %d leaves, depth %d):\n",
+		*id, t.Size(), t.Leaves(), t.Depth())
+	fmt.Println(t.String())
+	fmt.Println("variable importance (split-weight attribution):")
+	fmt.Print(t.FormatImportance())
+	return nil
+}
+
+func cmdInject(args []string) error {
+	fs := flag.NewFlagSet("inject", flag.ContinueOnError)
+	id := fs.String("dataset", "7Z-B1", "Table II dataset ID")
+	logPath := fs.String("log", "", "write the PROPANE log to this file")
+	arffPath := fs.String("arff", "", "write the ARFF dataset to this file")
+	csvPath := fs.String("csv", "", "write the dataset as CSV to this file")
+	showStats := fs.Bool("stats", false, "print the per-variable failure summary")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	camp, err := core.Campaign(context.Background(), *id, *opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s: %d injected runs, %d usable, %d failures\n",
+		*id, len(camp.Records), camp.Usable(), camp.Failures())
+	if *showStats {
+		fmt.Print(propane.FormatStats(propane.Summarize(camp)))
+	}
+	if *logPath != "" {
+		if err := writeFile(*logPath, func(f *os.File) error { return propane.WriteLog(f, camp) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote PROPANE log:", *logPath)
+	}
+	if *arffPath != "" {
+		d, err := core.Preprocess(camp)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*arffPath, func(f *os.File) error { return dataset.WriteARFF(f, d) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote ARFF dataset:", *arffPath)
+	}
+	if *csvPath != "" {
+		d, err := core.Preprocess(camp)
+		if err != nil {
+			return err
+		}
+		if err := writeFile(*csvPath, func(f *os.File) error { return dataset.WriteCSV(f, d) }); err != nil {
+			return err
+		}
+		fmt.Println("wrote CSV dataset:", *csvPath)
+	}
+	return nil
+}
+
+func cmdValidate(args []string) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
+	full := fs.Bool("full", false, "use the paper-scale refinement grid")
+	predPath := fs.String("pred", "", "validate this saved predicate instead of learning one")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var pred *predicate.Predicate
+	var cvTPR, cvFPR float64
+	if *predPath != "" {
+		data, err := os.ReadFile(*predPath)
+		if err != nil {
+			return err
+		}
+		pred, err = predicate.Parse(data)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded predicate %s (%d clauses)\n", pred.Name, len(pred.Clauses))
+	} else {
+		rep, err := core.RunMethodology(ctx, *id, core.RefineGrid(*full), *opts)
+		if err != nil {
+			return err
+		}
+		printReport(rep)
+		pred = rep.Predicate
+		cvTPR, cvFPR = rep.Refined.BestCV.MeanTPR, rep.Refined.BestCV.MeanFPR
+	}
+	val, err := core.ValidateDetector(ctx, *id, pred, *opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("re-validation across %d repeated injected runs:\n", val.Runs)
+	if *predPath != "" {
+		fmt.Printf("  deployed TPR=%.4f FPR=%.2e\n", val.Counts.TPR(), val.Counts.FPR())
+	} else {
+		fmt.Printf("  deployed TPR=%.4f FPR=%.2e  (CV estimates: TPR=%.4f FPR=%.2e)\n",
+			val.Counts.TPR(), val.Counts.FPR(), cvTPR, cvFPR)
+	}
+	return nil
+}
+
+// cmdRules learns a detector via rule induction — the other symbolic
+// family the paper's Step 2 allows — and prints the resulting
+// predicate alongside its cross-validated rates.
+func cmdRules(args []string) error {
+	fs := flag.NewFlagSet("rules", flag.ContinueOnError)
+	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	d, _, err := core.BuildDataset(ctx, *id, *opts)
+	if err != nil {
+		return err
+	}
+	learner := rules.PRISM{}
+	cv, err := eval.CrossValidate(learner, d, eval.CVConfig{Folds: opts.Folds, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("PRISM rule induction on %s: TPR=%.4f FPR=%.2e AUC=%.4f Comp=%.1f\n",
+		*id, cv.MeanTPR, cv.MeanFPR, cv.MeanAUC, cv.MeanComp)
+	model, err := learner.Fit(d)
+	if err != nil {
+		return err
+	}
+	rs, ok := model.(*rules.RuleSet)
+	if !ok {
+		return fmt.Errorf("unexpected model type %T", model)
+	}
+	vars := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		vars[i] = a.Name
+	}
+	pred, err := predicate.FromRules(rs, eval.PositiveClass, vars, *id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrule-induction predicate:\n%s", pred)
+	return nil
+}
+
+func cmdLatency(args []string) error {
+	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
+	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	d, _, err := core.BuildDataset(ctx, *id, *opts)
+	if err != nil {
+		return err
+	}
+	t, err := core.DefaultLearner().FitTree(d)
+	if err != nil {
+		return err
+	}
+	pred, err := predicate.FromTree(t, eval.PositiveClass, *id)
+	if err != nil {
+		return err
+	}
+	res, err := core.MeasureLatency(ctx, *id, pred, *opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("latency for %s: %d failures traced\n", *id, res.Failures)
+	fmt.Printf("  detected %d (%.1f%%), missed %d\n",
+		res.Detected, 100*float64(res.Detected)/float64(res.Failures), res.Missed)
+	fmt.Printf("  mean detection latency %.2f activations (max %d, %.1f%% immediate)\n",
+		res.MeanLatency, res.MaxLatency, 100*res.ImmediateRate)
+	return nil
+}
+
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
+	id := fs.String("dataset", "FG-B1", "Table II dataset ID")
+	method := fs.String("method", "ig", "ranking criterion: ig (info gain), gr (gain ratio), su (symmetrical uncertainty)")
+	opts := commonOpts(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m attrsel.Method
+	switch *method {
+	case "ig":
+		m = attrsel.InfoGain
+	case "gr":
+		m = attrsel.GainRatio
+	case "su":
+		m = attrsel.Symmetrical
+	default:
+		return fmt.Errorf("unknown ranking method %q", *method)
+	}
+	d, _, err := core.BuildDataset(context.Background(), *id, *opts)
+	if err != nil {
+		return err
+	}
+	scores, err := attrsel.Rank(d, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("variable ranking for %s (%s):\n", *id, m)
+	for _, sc := range scores {
+		fmt.Printf("  %-18s %.4f\n", sc.Name, sc.Value)
+	}
+	return nil
+}
+
+func cmdList() error {
+	opts := core.DefaultOptions()
+	for _, id := range core.AllDatasetIDs() {
+		info, err := core.Info(id, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %-11s %-10s inject=%-5s sample=%s\n",
+			info.ID, info.Target, info.Module, info.InjectAt, info.SampleAt)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

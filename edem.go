@@ -1,0 +1,227 @@
+// Package edem is the public facade of the EDEM library — a Go
+// implementation of "A Methodology for the Generation of Efficient
+// Error Detection Mechanisms" (Leeke, Arif, Jhumka, Anand; DSN 2011).
+//
+// The methodology turns fault-injection data into error detection
+// predicates in four steps (paper Figure 1):
+//
+//  1. Fault injection analysis — edem.Campaign runs a PROPANE-style
+//     campaign against an instrumented target system.
+//  2. Preprocessing — edem.Preprocess converts the campaign log into a
+//     mining dataset (the PROPANE→ARFF transformation).
+//  3. Model generation — edem.Baseline cross-validates a C4.5 decision
+//     tree on the dataset (Table III).
+//  4. Refinement — edem.Refine grid-searches sampling treatments
+//     (undersampling, oversampling, SMOTE) for the best mean AUC
+//     (Table IV); edem.RunMethodology does all four steps and extracts
+//     the winning tree as a deployable predicate.
+//
+// The bundled target systems (7-Zip, FlightGear and Mp3Gain analogues)
+// are selected through dataset IDs ("7Z-A1" … "MG-B3", Table II). Your
+// own systems plug in by implementing the Target interface and calling
+// RunCampaign; see examples/custom_target.
+package edem
+
+import (
+	"context"
+	"io"
+
+	"edem/internal/bitflip"
+	"edem/internal/core"
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/mining/eval"
+	"edem/internal/mining/rules"
+	"edem/internal/mining/tree"
+	"edem/internal/predicate"
+	"edem/internal/propane"
+)
+
+// Re-exported core types. See the internal packages for full details:
+// the facade keeps one import path for library consumers.
+type (
+	// Options scales and seeds the experiment suite.
+	Options = core.Options
+	// Row is one line of Table III / Table IV.
+	Row = core.Row
+	// Report is the full methodology output for one dataset.
+	Report = core.Report
+	// SamplingConfig is one refinement grid point.
+	SamplingConfig = core.SamplingConfig
+	// RefineResult is the Step 4 outcome.
+	RefineResult = core.RefineResult
+	// ValidationResult is the §VII-D re-validation outcome.
+	ValidationResult = core.ValidationResult
+
+	// Target is a system under fault injection.
+	Target = propane.Target
+	// Spec configures a campaign.
+	Spec = propane.Spec
+	// CampaignResult holds the injected-run records.
+	CampaignResult = propane.Campaign
+	// Probe receives instrumentation visits.
+	Probe = propane.Probe
+	// VarRef is a live reference to an instrumented variable.
+	VarRef = propane.VarRef
+
+	// Dataset is the mining data model.
+	Dataset = dataset.Dataset
+	// Predicate is a detector predicate in disjunctive normal form.
+	Predicate = predicate.Predicate
+	// Detector is a predicate installed as a runtime assertion.
+	Detector = predicate.Detector
+	// CVResult aggregates a stratified cross-validation.
+	CVResult = eval.CVResult
+)
+
+// Sampling kinds for refinement configurations.
+const (
+	NoSampling    = core.NoSampling
+	Undersampling = core.Undersampling
+	Oversampling  = core.Oversampling
+	Smote         = core.Smote
+)
+
+// DefaultOptions returns the laptop-scale defaults (all 18 datasets,
+// every variable, strided bit coverage).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// AllDatasetIDs lists the Table II dataset names.
+func AllDatasetIDs() []string { return core.AllDatasetIDs() }
+
+// Campaign runs Step 1 for a Table II dataset ID.
+func Campaign(ctx context.Context, id string, opts Options) (*CampaignResult, error) {
+	return core.Campaign(ctx, id, opts)
+}
+
+// RunCampaign runs Step 1 against a user-provided target system.
+func RunCampaign(ctx context.Context, target Target, spec Spec) (*CampaignResult, error) {
+	return propane.Run(ctx, target, spec)
+}
+
+// Preprocess runs Step 2: campaign log to mining dataset.
+func Preprocess(c *CampaignResult) (*Dataset, error) { return core.Preprocess(c) }
+
+// Baseline runs Step 3: baseline C4.5 under stratified 10-fold CV.
+func Baseline(d *Dataset, opts Options) (*CVResult, error) { return core.Baseline(d, opts) }
+
+// Refine runs Step 4 over a sampling grid.
+func Refine(ctx context.Context, d *Dataset, grid []SamplingConfig, opts Options) (*RefineResult, error) {
+	return core.Refine(ctx, d, grid, opts)
+}
+
+// RefineGrid returns the refinement search grid; full selects the
+// paper-scale grid.
+func RefineGrid(full bool) []SamplingConfig { return core.RefineGrid(full) }
+
+// RunMethodology executes Steps 1-4 for a dataset ID and extracts the
+// detector predicate.
+func RunMethodology(ctx context.Context, id string, grid []SamplingConfig, opts Options) (*Report, error) {
+	return core.RunMethodology(ctx, id, grid, opts)
+}
+
+// ValidateDetector re-runs fault injection on a fresh workload with the
+// predicate installed as a runtime assertion (§VII-D).
+func ValidateDetector(ctx context.Context, id string, pred *Predicate, opts Options) (*ValidationResult, error) {
+	return core.ValidateDetector(ctx, id, pred, opts)
+}
+
+// NewDetector wraps a predicate as a runtime assertion probe at the
+// given module location.
+func NewDetector(module string, loc propane.Location, pred *Predicate) *Detector {
+	return predicate.NewDetector(module, loc, pred)
+}
+
+// WriteARFF serialises a dataset in the Weka ARFF format.
+func WriteARFF(w io.Writer, d *Dataset) error { return dataset.WriteARFF(w, d) }
+
+// ReadARFF parses an ARFF stream.
+func ReadARFF(r io.Reader) (*Dataset, error) { return dataset.ReadARFF(r) }
+
+// WriteLog serialises a campaign in the PROPANE log format.
+func WriteLog(w io.Writer, c *CampaignResult) error { return propane.WriteLog(w, c) }
+
+// ReadLog parses a PROPANE log stream.
+func ReadLog(r io.Reader) (*CampaignResult, error) { return propane.ReadLog(r) }
+
+// Instrumentation locations.
+const (
+	Entry = propane.Entry
+	Exit  = propane.Exit
+)
+
+// Types needed to implement a custom Target.
+type (
+	// ModuleInfo describes one instrumented module.
+	ModuleInfo = propane.ModuleInfo
+	// VarDecl declares an instrumented variable.
+	VarDecl = propane.VarDecl
+	// TestCase is one workload configuration.
+	TestCase = propane.TestCase
+	// Location is an instrumentation point (Entry or Exit).
+	Location = propane.Location
+)
+
+// Variable kinds for VarDecl.
+const (
+	Float64Kind = bitflip.Float64
+	Float32Kind = bitflip.Float32
+	Int64Kind   = bitflip.Int64
+	Int32Kind   = bitflip.Int32
+	Uint64Kind  = bitflip.Uint64
+	BoolKind    = bitflip.Bool
+)
+
+// VarRef adapters for common Go types; targets build these once per run
+// and pass them to every Probe.Visit.
+var (
+	Float64Ref = propane.Float64Ref
+	Int64Ref   = propane.Int64Ref
+	Int32Ref   = propane.Int32Ref
+	IntRef     = propane.IntRef
+	BoolRef    = propane.BoolRef
+)
+
+// NopProbe ignores all instrumentation visits; use it for plain runs.
+type NopProbe = propane.NopProbe
+
+// Chain fans instrumentation visits out to several probes in order —
+// for example an injector plus a deployed detector.
+func Chain(probes ...Probe) Probe { return propane.Chain(probes...) }
+
+// CrossValidate runs stratified k-fold cross-validation of any learner
+// on a dataset; see internal/mining for the Learner interface.
+func CrossValidate(l mining.Learner, d *Dataset, cfg eval.CVConfig) (*CVResult, error) {
+	return eval.CrossValidate(l, d, cfg)
+}
+
+// PredicateFromTree extracts the DNF detection predicate from an
+// induced decision tree (paths to positiveClass leaves).
+func PredicateFromTree(t *tree.Tree, positiveClass int, name string) (*Predicate, error) {
+	return predicate.FromTree(t, positiveClass, name)
+}
+
+// C45 returns a C4.5 learner with the paper's default configuration.
+func C45() tree.Learner { return tree.Learner{} }
+
+// PredicateFromRules extracts a DNF predicate from a PRISM covering
+// rule set — the paper's alternative symbolic learner (§V-C).
+func PredicateFromRules(rs *rules.RuleSet, positiveClass int, vars []string, name string) (*Predicate, error) {
+	return predicate.FromRules(rs, positiveClass, vars, name)
+}
+
+// SummarizeCampaign aggregates a campaign's outcomes per injected
+// variable — the failure fingerprint the decision trees learn from.
+func SummarizeCampaign(c *CampaignResult) []propane.VarStat { return propane.Summarize(c) }
+
+// MeasureLatency traces failure-inducing runs with the predicate
+// installed and reports detection latency in activations.
+func MeasureLatency(ctx context.Context, id string, pred *Predicate, opts Options) (*core.LatencyResult, error) {
+	return core.MeasureLatency(ctx, id, pred, opts)
+}
+
+// WriteCSV serialises a dataset as CSV (header row, class column last).
+func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }
+
+// ReadCSV parses a CSV stream with inferred column types.
+func ReadCSV(r io.Reader, name string) (*Dataset, error) { return dataset.ReadCSV(r, name) }

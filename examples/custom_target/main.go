@@ -1,0 +1,172 @@
+// Custom target example: instrument YOUR OWN module and generate a
+// detector for it. The target here is a little PI temperature
+// controller; its Control module is instrumented at entry and exit, a
+// campaign flips every bit of its state, and C4.5 learns which states
+// lead the plant out of its safety envelope.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"edem"
+)
+
+// boiler is a tiny closed-loop plant: a PI controller drives a heater
+// to keep the temperature at the setpoint. A run fails when the
+// temperature leaves the safety envelope.
+type boiler struct{}
+
+const (
+	controlModule = "Control"
+	steps         = 400
+	setpoint      = 80.0
+	envelope      = 25.0 // +- degrees around the setpoint after warmup
+	warmup        = 150
+)
+
+type boilerOutcome struct {
+	MaxDeviation float64
+}
+
+var _ edem.Target = boiler{}
+
+func (boiler) Name() string { return "Boiler" }
+
+func (boiler) Modules() []edem.ModuleInfo {
+	return []edem.ModuleInfo{{
+		Name: controlModule,
+		Vars: []edem.VarDecl{
+			{Name: "kp", Kind: edem.Float64Kind},
+			{Name: "ki", Kind: edem.Float64Kind},
+			{Name: "integral", Kind: edem.Float64Kind},
+			{Name: "lastError", Kind: edem.Float64Kind},
+			{Name: "command", Kind: edem.Float64Kind},
+			{Name: "tick", Kind: edem.Int64Kind},
+		},
+	}}
+}
+
+func (boiler) TestCases(n int, seed uint64) []edem.TestCase {
+	tcs := make([]edem.TestCase, n)
+	for i := range tcs {
+		tcs[i] = edem.TestCase{
+			ID:   i,
+			Seed: seed + uint64(i),
+			Params: map[string]float64{
+				// Ambient temperature varies per test case.
+				"ambient": 15 + 5*float64(i%4),
+			},
+		}
+	}
+	return tcs
+}
+
+func (boiler) Run(tc edem.TestCase, probe edem.Probe) (any, error) {
+	var (
+		kp        = 4.0
+		ki        = 0.15
+		integral  float64
+		lastError float64
+		command   float64
+		tick      int64
+	)
+	vars := []edem.VarRef{
+		edem.Float64Ref("kp", &kp),
+		edem.Float64Ref("ki", &ki),
+		edem.Float64Ref("integral", &integral),
+		edem.Float64Ref("lastError", &lastError),
+		edem.Float64Ref("command", &command),
+		edem.Int64Ref("tick", &tick),
+	}
+
+	temp := tc.Params["ambient"]
+	out := boilerOutcome{}
+	for i := 0; i < steps; i++ {
+		probe.Visit(controlModule, edem.Entry, vars)
+		// PI control step.
+		e := setpoint - temp
+		integral += e
+		if integral > 500 {
+			integral = 500
+		}
+		if integral < -500 {
+			integral = -500
+		}
+		command = kp*e + ki*integral
+		if command < 0 {
+			command = 0
+		}
+		if command > 100 {
+			command = 100
+		}
+		lastError = e
+		tick++
+		probe.Visit(controlModule, edem.Exit, vars)
+
+		// Plant: first-order heating against ambient losses.
+		temp += 0.02*command - 0.05*(temp-tc.Params["ambient"])
+		if i > warmup {
+			if dev := math.Abs(temp - setpoint); dev > out.MaxDeviation {
+				out.MaxDeviation = dev
+			}
+		}
+	}
+	return out, nil
+}
+
+func (boiler) Failed(_ edem.TestCase, _, observed any) bool {
+	o, ok := observed.(boilerOutcome)
+	if !ok {
+		return true
+	}
+	return !(o.MaxDeviation <= envelope) // NaN-safe
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	spec := edem.Spec{
+		Dataset:        "BOILER-1",
+		Module:         controlModule,
+		InjectAt:       edem.Entry,
+		SampleAt:       edem.Exit,
+		InjectionTimes: []int{100, 200, 300},
+		TestCases:      8,
+		Seed:           1,
+	}
+	camp, err := edem.RunCampaign(context.Background(), boiler{}, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %d injected runs, %d failures\n", camp.Usable(), camp.Failures())
+
+	d, err := edem.Preprocess(camp)
+	if err != nil {
+		return err
+	}
+	opts := edem.DefaultOptions()
+	cv, err := edem.Baseline(d, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline C4.5: TPR=%.4f FPR=%.2e AUC=%.4f Comp=%.1f\n",
+		cv.MeanTPR, cv.MeanFPR, cv.MeanAUC, cv.MeanComp)
+
+	t, err := edem.C45().FitTree(d)
+	if err != nil {
+		return err
+	}
+	pred, err := edem.PredicateFromTree(t, 1, spec.Dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndetector predicate for the controller's exit point:\n%s", pred)
+	return nil
+}

@@ -1,0 +1,67 @@
+// FlightGear example: reproduce the paper's hardest and easiest
+// FlightGear datasets side by side. The Gear module (FG-A2) exposes
+// flight-phase state and learns a near-complete detector; the Mass
+// module (FG-B1) hides the wind conditions its failures depend on, so
+// its completeness plateaus — the paper's central observation about
+// implementation constraints on perfect detectors.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"edem"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	opts := edem.DefaultOptions()
+
+	for _, id := range []string{"FG-A2", "FG-B1"} {
+		camp, err := edem.Campaign(ctx, id, opts)
+		if err != nil {
+			return err
+		}
+		d, err := edem.Preprocess(camp)
+		if err != nil {
+			return err
+		}
+		cv, err := edem.Baseline(d, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d states (%d failure-inducing)\n", id, d.Len(), camp.Failures())
+		fmt.Printf("  baseline C4.5: TPR=%.4f FPR=%.2e AUC=%.4f Comp=%.1f\n",
+			cv.MeanTPR, cv.MeanFPR, cv.MeanAUC, cv.MeanComp)
+	}
+
+	// Figure 2: induce a tree on the Gear dataset and read it as a
+	// detection predicate.
+	camp, err := edem.Campaign(ctx, "FG-A2", opts)
+	if err != nil {
+		return err
+	}
+	d, err := edem.Preprocess(camp)
+	if err != nil {
+		return err
+	}
+	t, err := edem.C45().FitTree(d)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndecision tree for FG-A2 (%d nodes, depth %d):\n%s\n", t.Size(), t.Depth(), t)
+
+	pred, err := edem.PredicateFromTree(t, 1, "FG-A2")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nas a runtime assertion for the Gear module exit point:\n%s", pred)
+	return nil
+}

@@ -1,0 +1,3 @@
+module edem
+
+go 1.22

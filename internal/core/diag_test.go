@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// TestDiagnosticsPerVariable prints, for every dataset, the failure
+// fraction per injected variable — the structural fingerprint the
+// decision trees learn from. Run with -v to inspect. It asserts only
+// the coarse invariants every dataset must satisfy.
+func TestDiagnosticsPerVariable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are expensive; skipped in -short mode")
+	}
+	opts := DefaultOptions()
+	opts.TestCases = 3
+	opts.BitStride = 4
+	for _, id := range AllDatasetIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			camp, err := Campaign(context.Background(), id, opts)
+			if err != nil {
+				t.Fatalf("campaign: %v", err)
+			}
+			type agg struct{ fail, total, crash int }
+			perVar := map[string]*agg{}
+			for i := range camp.Records {
+				r := &camp.Records[i]
+				a := perVar[r.Var]
+				if a == nil {
+					a = &agg{}
+					perVar[r.Var] = a
+				}
+				if r.Injected {
+					a.total++
+					if r.Failure {
+						a.fail++
+					}
+					if r.Crashed {
+						a.crash++
+					}
+				}
+			}
+			names := make([]string, 0, len(perVar))
+			for n := range perVar {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			failSum, totSum := 0, 0
+			for _, n := range names {
+				a := perVar[n]
+				failSum += a.fail
+				totSum += a.total
+				t.Log(fmt.Sprintf("%-16s fail=%4d/%4d (%.2f) crash=%d", n, a.fail, a.total, float64(a.fail)/float64(a.total+1e-9*0+1), a.crash))
+			}
+			frac := float64(failSum) / float64(totSum)
+			t.Log(fmt.Sprintf("TOTAL fail=%d/%d frac=%.3f usable=%d", failSum, totSum, frac, camp.Usable()))
+			if failSum == 0 {
+				t.Error("no failures: no positive class")
+			}
+			if frac > 0.45 {
+				t.Errorf("failure fraction %.2f too high: imbalance structure lost", frac)
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edem/internal/dataset"
+	"edem/internal/mining/eval"
+	"edem/internal/mining/sampling"
+	"edem/internal/stats"
+)
+
+// Refine runs Step 4: every grid configuration is cross-validated on
+// the SAME stratified folds as the baseline and the configuration with
+// the best mean AUC is selected (ties: fewer mean nodes). The baseline
+// configuration competes too, so refinement never reports a worse model
+// than Step 3.
+//
+// The fold loop is the outer loop: each training partition's SMOTE
+// neighbour lists are computed once and shared by every (percent, k)
+// grid point, and folds are evaluated in parallel.
+func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts Options) (*RefineResult, error) {
+	full := append([]SamplingConfig{{Kind: NoSampling}}, grid...)
+
+	// Folds must match Baseline: same RNG construction as
+	// eval.CrossValidate with the same seed.
+	rng := stats.NewRNG(opts.Seed)
+	folds, err := dataset.StratifiedKFold(d, opts.folds(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: refine folds: %w", err)
+	}
+
+	maxK := 0
+	for _, cfg := range full {
+		if cfg.Kind == Smote && cfg.K > maxK {
+			maxK = cfg.K
+		}
+	}
+
+	cells := make([][]refineCell, len(full))
+	for i := range cells {
+		cells[i] = make([]refineCell, len(folds))
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(folds) {
+		workers = len(folds)
+	}
+	foldCh := make(chan int)
+	errCh := make(chan error, len(folds))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fi := range foldCh {
+				if err := refineFold(d, folds[fi], full, maxK, opts, fi, cells); err != nil {
+					errCh <- fmt.Errorf("core: refine fold %d: %w", fi, err)
+					return
+				}
+			}
+		}()
+	}
+dispatch:
+	for fi := range folds {
+		select {
+		case foldCh <- fi:
+		case <-ctx.Done():
+			errCh <- ctx.Err()
+			break dispatch
+		}
+	}
+	close(foldCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	res := &RefineResult{}
+	for ci, cfg := range full {
+		cv := &eval.CVResult{}
+		var aucW, tprW, fprW, compW stats.Welford
+		for fi := range folds {
+			b := cells[ci][fi].counts
+			aucW.Add(b.AUC())
+			tprW.Add(b.TPR())
+			fprW.Add(b.FPR())
+			compW.Add(float64(cells[ci][fi].size))
+		}
+		cv.MeanAUC = aucW.Mean()
+		cv.MeanTPR = tprW.Mean()
+		cv.MeanFPR = fprW.Mean()
+		cv.MeanComp = compW.Mean()
+		cv.VarAUC = aucW.Variance()
+		res.Evaluated = append(res.Evaluated, struct {
+			Config SamplingConfig
+			CV     *eval.CVResult
+		}{cfg, cv})
+		if res.BestCV == nil ||
+			cv.MeanAUC > res.BestCV.MeanAUC ||
+			(cv.MeanAUC == res.BestCV.MeanAUC && cv.MeanComp < res.BestCV.MeanComp) {
+			res.Best = cfg
+			res.BestCV = cv
+		}
+	}
+	return res, nil
+}
+
+// refineFold evaluates every configuration on one fold, filling the
+// (config, fold) cells.
+// refineCell is one (configuration, fold) evaluation.
+type refineCell struct {
+	counts eval.BinaryCounts
+	size   int
+}
+
+func refineFold(d *dataset.Dataset, fold dataset.Fold, full []SamplingConfig, maxK int, opts Options, fi int, cells [][]refineCell) error {
+	train := d.Subset(fold.Train)
+
+	var ni *sampling.NeighborIndex
+	if maxK > 0 {
+		var err error
+		ni, err = sampling.BuildNeighborIndex(train, eval.PositiveClass, maxK)
+		if err != nil {
+			return fmt.Errorf("neighbour index: %w", err)
+		}
+	}
+
+	learner := DefaultLearner()
+	for ci, cfg := range full {
+		rng := stats.NewRNG(opts.Seed ^ (uint64(fi+1) << 20) ^ uint64(ci+1))
+		td := train
+		var err error
+		switch cfg.Kind {
+		case Undersampling:
+			td, err = sampling.Undersample(train, 0, cfg.Percent, rng)
+		case Oversampling:
+			if ni != nil {
+				td, err = ni.Oversample(cfg.Percent, rng)
+			} else {
+				td, err = sampling.Oversample(train, eval.PositiveClass, cfg.Percent, rng)
+			}
+		case Smote:
+			if ni == nil {
+				return fmt.Errorf("smote config without neighbour index")
+			}
+			td, err = ni.SMOTE(cfg.Percent, cfg.K, rng)
+		}
+		if err != nil {
+			return fmt.Errorf("transform %s: %w", cfg.Label(), err)
+		}
+		model, err := learner.FitTree(td)
+		if err != nil {
+			return fmt.Errorf("fit %s: %w", cfg.Label(), err)
+		}
+		cm := eval.NewConfusionMatrix(d.ClassValues)
+		for _, ti := range fold.Test {
+			in := &d.Instances[ti]
+			if err := cm.Record(in.Class, model.Classify(in.Values), in.Weight); err != nil {
+				return err
+			}
+		}
+		cells[ci][fi].counts = cm.Binary(eval.PositiveClass)
+		cells[ci][fi].size = model.Size()
+	}
+	return nil
+}

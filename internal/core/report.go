@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport renders a methodology Report as a self-contained markdown
+// document: campaign summary, Table III/IV rows for the dataset, the
+// winning configuration, the induced tree and the extracted predicate.
+// It is what `edem run -report` writes for archival next to the
+// detector artefact.
+func WriteReport(w io.Writer, rep *Report) error {
+	if rep == nil {
+		return fmt.Errorf("core: nil report")
+	}
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# Detector generation report — %s\n\n", rep.ID)
+	p("Instances: %d sampled injected runs, %d failure-inducing (%.1f%%).\n\n",
+		rep.Instances, rep.Failures, 100*float64(rep.Failures)/float64(max(rep.Instances, 1)))
+
+	p("## Step 3 — baseline C4.5 (stratified cross-validation)\n\n")
+	p("| FPR | TPR | AUC | Comp | Var |\n|---|---|---|---|---|\n")
+	b := rep.Baseline
+	p("| %.2e | %.4f | %.4f | %.1f | %.2e |\n\n", b.MeanFPR, b.MeanTPR, b.MeanAUC, b.MeanComp, b.VarAUC)
+
+	p("## Step 4 — refinement\n\n")
+	p("Best configuration: S=%s, N=%s (of %d evaluated).\n\n",
+		rep.Refined.Best.Label(), rep.Refined.Best.KLabel(), len(rep.Refined.Evaluated))
+	p("| FPR | TPR | AUC | Comp | Var |\n|---|---|---|---|---|\n")
+	r := rep.Refined.BestCV
+	p("| %.2e | %.4f | %.4f | %.1f | %.2e |\n\n", r.MeanFPR, r.MeanTPR, r.MeanAUC, r.MeanComp, r.VarAUC)
+
+	p("### Grid detail\n\n")
+	p("| S | N | FPR | TPR | AUC | Comp |\n|---|---|---|---|---|---|\n")
+	for _, e := range rep.Refined.Evaluated {
+		p("| %s | %s | %.2e | %.4f | %.4f | %.1f |\n",
+			e.Config.Label(), e.Config.KLabel(),
+			e.CV.MeanFPR, e.CV.MeanTPR, e.CV.MeanAUC, e.CV.MeanComp)
+	}
+	p("\n")
+
+	if rep.Tree != nil {
+		p("## Induced decision tree (%d nodes, depth %d)\n\n```\n%s\n```\n\n",
+			rep.Tree.Size(), rep.Tree.Depth(), rep.Tree.String())
+		p("### Variable importance\n\n```\n%s```\n\n", rep.Tree.FormatImportance())
+	}
+	if rep.Predicate != nil {
+		p("## Detector predicate (%d clauses, %d atoms)\n\n```\n%s```\n",
+			len(rep.Predicate.Clauses), rep.Predicate.Complexity(), rep.Predicate.String())
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"edem/internal/propane"
+	"edem/internal/targets/flightgear"
+)
+
+// TestGoldenRunsPass verifies that every target passes its own failure
+// specification on fault-free runs — the precondition for the entire
+// methodology (a golden run that fails would poison every label).
+func TestGoldenRunsPass(t *testing.T) {
+	opts := DefaultOptions()
+	seen := map[string]bool{}
+	for _, id := range AllDatasetIDs() {
+		target, spec, err := SpecFor(id, opts)
+		if err != nil {
+			t.Fatalf("SpecFor(%s): %v", id, err)
+		}
+		if seen[target.Name()] {
+			continue
+		}
+		seen[target.Name()] = true
+		for _, tc := range target.TestCases(spec.TestCases, spec.Seed) {
+			out, err := target.Run(tc, propane.NopProbe{})
+			if err != nil {
+				t.Fatalf("%s golden run tc=%d: %v", target.Name(), tc.ID, err)
+			}
+			if target.Failed(tc, out, out) {
+				t.Errorf("%s golden run tc=%d violates its own failure spec: %+v", target.Name(), tc.ID, out)
+			}
+			if fg, ok := out.(flightgear.Outcome); ok {
+				t.Logf("FG tc=%d: dist=%.1f clear=%v maxQ=%.2f", tc.ID, fg.TakeoffDistance, fg.ClearedObstacle, fg.MaxPitchRateBeforeClear)
+			}
+		}
+	}
+}
+
+// TestCampaignClassBalance is a diagnostic: each dataset must contain
+// both classes with failures in the minority (the imbalance the
+// methodology is designed around).
+func TestCampaignClassBalance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaigns are expensive; skipped in -short mode")
+	}
+	opts := DefaultOptions()
+	opts.TestCases = 3
+	opts.BitStride = 4
+	for _, id := range AllDatasetIDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			camp, err := Campaign(context.Background(), id, opts)
+			if err != nil {
+				t.Fatalf("campaign: %v", err)
+			}
+			usable, failures := camp.Usable(), camp.Failures()
+			frac := float64(failures) / float64(usable)
+			t.Log(fmt.Sprintf("usable=%d failures=%d frac=%.3f records=%d", usable, failures, frac, len(camp.Records)))
+			if usable == 0 {
+				t.Fatal("campaign produced no usable records")
+			}
+			if failures == 0 {
+				t.Error("campaign produced no failures: no positive class to learn")
+			}
+			if failures == usable {
+				t.Error("every injected run failed: no negative class to learn")
+			}
+		})
+	}
+}

@@ -1,0 +1,268 @@
+// Package dataset provides the relational data model consumed by the
+// mining algorithms: attributes, weighted instances, datasets, stratified
+// cross-validation folds, and the two on-disk formats used by the
+// methodology — the PROPANE fault-injection log format and the ARFF
+// format of the Weka suite (paper §V-C step 1: format transformation).
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edem/internal/stats"
+)
+
+// AttrType distinguishes numeric from nominal attributes.
+type AttrType int
+
+// Attribute types.
+const (
+	Numeric AttrType = iota + 1
+	Nominal
+)
+
+// String returns the ARFF spelling of the type.
+func (t AttrType) String() string {
+	switch t {
+	case Numeric:
+		return "numeric"
+	case Nominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// Attribute describes one column of a dataset.
+type Attribute struct {
+	Name string
+	Type AttrType
+	// Values is the domain of a nominal attribute, in declaration order.
+	// Instance values for nominal attributes are indices into this slice.
+	Values []string
+}
+
+// NumericAttr constructs a numeric attribute.
+func NumericAttr(name string) Attribute {
+	return Attribute{Name: name, Type: Numeric}
+}
+
+// NominalAttr constructs a nominal attribute over the given domain.
+func NominalAttr(name string, values ...string) Attribute {
+	vs := make([]string, len(values))
+	copy(vs, values)
+	return Attribute{Name: name, Type: Nominal, Values: vs}
+}
+
+// ValueIndex returns the index of v in a nominal attribute's domain.
+func (a Attribute) ValueIndex(v string) (int, bool) {
+	for i, s := range a.Values {
+		if s == v {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Missing is the sentinel for an absent attribute value.
+var Missing = math.NaN()
+
+// IsMissing reports whether v is the missing-value sentinel.
+func IsMissing(v float64) bool { return math.IsNaN(v) }
+
+// Instance is one sampled program state: attribute values plus a class
+// label and an instance weight (C4.5 uses fractional weights both for
+// missing-value handling and for cost-sensitive instance weighting).
+type Instance struct {
+	// Values holds one entry per attribute: the numeric value for numeric
+	// attributes, or the index into Attribute.Values for nominal ones.
+	// NaN marks a missing value.
+	Values []float64
+	// Class is the index into Dataset.ClassValues.
+	Class int
+	// Weight is the instance weight; 1 for raw data.
+	Weight float64
+}
+
+// Clone returns a deep copy of the instance.
+func (in Instance) Clone() Instance {
+	vs := make([]float64, len(in.Values))
+	copy(vs, in.Values)
+	return Instance{Values: vs, Class: in.Class, Weight: in.Weight}
+}
+
+// Dataset is a named relation with a distinguished nominal class.
+type Dataset struct {
+	Name        string
+	Attrs       []Attribute
+	ClassValues []string
+	Instances   []Instance
+}
+
+// Common validation errors.
+var (
+	ErrNoAttributes = errors.New("dataset: no attributes")
+	ErrNoClass      = errors.New("dataset: no class values")
+	ErrArity        = errors.New("dataset: instance arity does not match attributes")
+	ErrClassRange   = errors.New("dataset: class index out of range")
+)
+
+// New constructs an empty dataset with the given schema.
+func New(name string, attrs []Attribute, classValues []string) *Dataset {
+	as := make([]Attribute, len(attrs))
+	copy(as, attrs)
+	cs := make([]string, len(classValues))
+	copy(cs, classValues)
+	return &Dataset{Name: name, Attrs: as, ClassValues: cs}
+}
+
+// Add appends an instance after validating it against the schema.
+func (d *Dataset) Add(in Instance) error {
+	if len(in.Values) != len(d.Attrs) {
+		return fmt.Errorf("%w: got %d values, want %d", ErrArity, len(in.Values), len(d.Attrs))
+	}
+	if in.Class < 0 || in.Class >= len(d.ClassValues) {
+		return fmt.Errorf("%w: %d", ErrClassRange, in.Class)
+	}
+	if in.Weight == 0 {
+		in.Weight = 1
+	}
+	d.Instances = append(d.Instances, in)
+	return nil
+}
+
+// MustAdd appends an instance and panics on schema mismatch. It is meant
+// for tests and generators whose schema is statically correct.
+func (d *Dataset) MustAdd(in Instance) {
+	if err := d.Add(in); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of instances.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// TotalWeight returns the sum of instance weights.
+func (d *Dataset) TotalWeight() float64 {
+	w := 0.0
+	for i := range d.Instances {
+		w += d.Instances[i].Weight
+	}
+	return w
+}
+
+// ClassCounts returns the number of instances per class label.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, len(d.ClassValues))
+	for i := range d.Instances {
+		counts[d.Instances[i].Class]++
+	}
+	return counts
+}
+
+// ClassWeights returns the total instance weight per class label.
+func (d *Dataset) ClassWeights() []float64 {
+	ws := make([]float64, len(d.ClassValues))
+	for i := range d.Instances {
+		ws[d.Instances[i].Class] += d.Instances[i].Weight
+	}
+	return ws
+}
+
+// MajorityClass returns the class index with the largest total weight.
+// Ties resolve to the lower index, matching C4.5's deterministic choice.
+func (d *Dataset) MajorityClass() int {
+	ws := d.ClassWeights()
+	best := 0
+	for c := 1; c < len(ws); c++ {
+		if ws[c] > ws[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// CloneSchema returns an empty dataset with the same schema.
+func (d *Dataset) CloneSchema() *Dataset {
+	return New(d.Name, d.Attrs, d.ClassValues)
+}
+
+// Clone returns a deep copy of the dataset.
+func (d *Dataset) Clone() *Dataset {
+	out := d.CloneSchema()
+	out.Instances = make([]Instance, 0, len(d.Instances))
+	for i := range d.Instances {
+		out.Instances = append(out.Instances, d.Instances[i].Clone())
+	}
+	return out
+}
+
+// Subset returns a new dataset containing clones of the instances at the
+// given indices.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	out := d.CloneSchema()
+	out.Instances = make([]Instance, 0, len(idx))
+	for _, i := range idx {
+		out.Instances = append(out.Instances, d.Instances[i].Clone())
+	}
+	return out
+}
+
+// Filter returns a new dataset containing clones of instances for which
+// keep returns true.
+func (d *Dataset) Filter(keep func(Instance) bool) *Dataset {
+	out := d.CloneSchema()
+	for i := range d.Instances {
+		if keep(d.Instances[i]) {
+			out.Instances = append(out.Instances, d.Instances[i].Clone())
+		}
+	}
+	return out
+}
+
+// Shuffle permutes the instance order in place.
+func (d *Dataset) Shuffle(rng *stats.RNG) {
+	rng.Shuffle(len(d.Instances), func(i, j int) {
+		d.Instances[i], d.Instances[j] = d.Instances[j], d.Instances[i]
+	})
+}
+
+// AttrIndex returns the index of the attribute with the given name.
+func (d *Dataset) AttrIndex(name string) (int, bool) {
+	for i, a := range d.Attrs {
+		if a.Name == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Validate checks the structural invariants of the dataset: non-empty
+// schema, matching arities, in-range class and nominal indices.
+func (d *Dataset) Validate() error {
+	if len(d.Attrs) == 0 {
+		return ErrNoAttributes
+	}
+	if len(d.ClassValues) == 0 {
+		return ErrNoClass
+	}
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		if len(in.Values) != len(d.Attrs) {
+			return fmt.Errorf("instance %d: %w", i, ErrArity)
+		}
+		if in.Class < 0 || in.Class >= len(d.ClassValues) {
+			return fmt.Errorf("instance %d: %w", i, ErrClassRange)
+		}
+		for j, v := range in.Values {
+			if d.Attrs[j].Type == Nominal && !IsMissing(v) {
+				k := int(v)
+				if float64(k) != v || k < 0 || k >= len(d.Attrs[j].Values) {
+					return fmt.Errorf("instance %d attr %q: nominal index %v out of domain", i, d.Attrs[j].Name, v)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package dataset
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edem/internal/stats"
+)
+
+func twoClassSchema() ([]Attribute, []string) {
+	return []Attribute{
+		NumericAttr("x"),
+		NumericAttr("y"),
+		NominalAttr("color", "red", "green", "blue"),
+	}, []string{"neg", "pos"}
+}
+
+func sampleDataset(t *testing.T, n int) *Dataset {
+	t.Helper()
+	attrs, classes := twoClassSchema()
+	d := New("sample", attrs, classes)
+	rng := stats.NewRNG(1)
+	for i := 0; i < n; i++ {
+		class := 0
+		if i%5 == 0 {
+			class = 1
+		}
+		d.MustAdd(Instance{
+			Values: []float64{rng.Float64() * 10, rng.Float64(), float64(rng.Intn(3))},
+			Class:  class,
+			Weight: 1,
+		})
+	}
+	return d
+}
+
+func TestNewCopiesSchema(t *testing.T) {
+	attrs, classes := twoClassSchema()
+	d := New("n", attrs, classes)
+	attrs[0].Name = "mutated"
+	classes[0] = "mutated"
+	if d.Attrs[0].Name != "x" || d.ClassValues[0] != "neg" {
+		t.Fatal("New must copy the schema slices")
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	attrs, classes := twoClassSchema()
+	d := New("v", attrs, classes)
+	if err := d.Add(Instance{Values: []float64{1}, Class: 0}); !errors.Is(err, ErrArity) {
+		t.Errorf("arity error = %v", err)
+	}
+	if err := d.Add(Instance{Values: []float64{1, 2, 0}, Class: 7}); !errors.Is(err, ErrClassRange) {
+		t.Errorf("class error = %v", err)
+	}
+	if err := d.Add(Instance{Values: []float64{1, 2, 0}, Class: 1}); err != nil {
+		t.Errorf("valid add: %v", err)
+	}
+	// Zero weight defaults to 1.
+	if d.Instances[0].Weight != 1 {
+		t.Errorf("weight = %v, want 1", d.Instances[0].Weight)
+	}
+}
+
+func TestClassCountsAndWeights(t *testing.T) {
+	d := sampleDataset(t, 20)
+	counts := d.ClassCounts()
+	if counts[0] != 16 || counts[1] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+	ws := d.ClassWeights()
+	if ws[0] != 16 || ws[1] != 4 {
+		t.Fatalf("weights = %v", ws)
+	}
+	if d.MajorityClass() != 0 {
+		t.Fatalf("majority = %d", d.MajorityClass())
+	}
+	if d.TotalWeight() != 20 {
+		t.Fatalf("total weight = %v", d.TotalWeight())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := sampleDataset(t, 5)
+	c := d.Clone()
+	c.Instances[0].Values[0] = -999
+	if d.Instances[0].Values[0] == -999 {
+		t.Fatal("Clone shares value slices")
+	}
+}
+
+func TestSubsetAndFilter(t *testing.T) {
+	d := sampleDataset(t, 10)
+	sub := d.Subset([]int{0, 2, 4})
+	if sub.Len() != 3 {
+		t.Fatalf("subset len = %d", sub.Len())
+	}
+	pos := d.Filter(func(in Instance) bool { return in.Class == 1 })
+	if pos.Len() != 2 {
+		t.Fatalf("filter len = %d", pos.Len())
+	}
+	for i := range pos.Instances {
+		if pos.Instances[i].Class != 1 {
+			t.Fatal("filter kept wrong class")
+		}
+	}
+}
+
+func TestAttrIndex(t *testing.T) {
+	d := sampleDataset(t, 1)
+	if i, ok := d.AttrIndex("y"); !ok || i != 1 {
+		t.Fatalf("AttrIndex(y) = %d, %v", i, ok)
+	}
+	if _, ok := d.AttrIndex("missing"); ok {
+		t.Fatal("AttrIndex(missing) should fail")
+	}
+}
+
+func TestValueIndex(t *testing.T) {
+	a := NominalAttr("c", "x", "y")
+	if i, ok := a.ValueIndex("y"); !ok || i != 1 {
+		t.Fatalf("ValueIndex = %d, %v", i, ok)
+	}
+	if _, ok := a.ValueIndex("z"); ok {
+		t.Fatal("ValueIndex(z) should fail")
+	}
+}
+
+func TestMissingSentinel(t *testing.T) {
+	if !IsMissing(Missing) {
+		t.Fatal("Missing must be missing")
+	}
+	if IsMissing(0) || IsMissing(math.Inf(1)) {
+		t.Fatal("0 and Inf are not missing")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	attrs, classes := twoClassSchema()
+	d := New("v", attrs, classes)
+	d.MustAdd(Instance{Values: []float64{1, 2, 1}, Class: 0, Weight: 1})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset: %v", err)
+	}
+	// Out-of-domain nominal index.
+	d.Instances[0].Values[2] = 9
+	if err := d.Validate(); err == nil {
+		t.Fatal("nominal out of domain must fail validation")
+	}
+	d.Instances[0].Values[2] = 0.5
+	if err := d.Validate(); err == nil {
+		t.Fatal("non-integer nominal index must fail validation")
+	}
+	// Missing nominal is allowed.
+	d.Instances[0].Values[2] = Missing
+	if err := d.Validate(); err != nil {
+		t.Fatalf("missing nominal should validate: %v", err)
+	}
+
+	empty := New("e", nil, classes)
+	if err := empty.Validate(); !errors.Is(err, ErrNoAttributes) {
+		t.Errorf("empty attrs error = %v", err)
+	}
+	noClass := New("e", attrs, nil)
+	if err := noClass.Validate(); !errors.Is(err, ErrNoClass) {
+		t.Errorf("no class error = %v", err)
+	}
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	d1 := sampleDataset(t, 30)
+	d2 := sampleDataset(t, 30)
+	d1.Shuffle(stats.NewRNG(9))
+	d2.Shuffle(stats.NewRNG(9))
+	for i := range d1.Instances {
+		if d1.Instances[i].Values[0] != d2.Instances[i].Values[0] {
+			t.Fatal("same-seed shuffles differ")
+		}
+	}
+}
+
+func TestMajorityClassTieBreaksLow(t *testing.T) {
+	attrs, classes := twoClassSchema()
+	d := New("tie", attrs, classes)
+	d.MustAdd(Instance{Values: []float64{0, 0, 0}, Class: 0, Weight: 1})
+	d.MustAdd(Instance{Values: []float64{0, 0, 0}, Class: 1, Weight: 1})
+	if d.MajorityClass() != 0 {
+		t.Fatal("ties must resolve to the lower class index")
+	}
+}

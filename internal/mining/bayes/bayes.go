@@ -1,0 +1,208 @@
+// Package bayes implements a Naïve Bayes classifier: Gaussian
+// likelihoods for numeric attributes and Laplace-smoothed frequency
+// estimates for nominal ones. The paper (§V-C) notes that learners of
+// this family benefit from the signed logarithmic attribute mapping on
+// fault-injection data; the learner applies it optionally.
+package bayes
+
+import (
+	"math"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+// Learner fits Naïve Bayes models.
+type Learner struct {
+	// LogMap applies the paper's signed log transformation g(x) to
+	// numeric attributes before fitting and classifying.
+	LogMap bool
+}
+
+var _ mining.Learner = Learner{}
+
+// Name implements mining.Learner.
+func (l Learner) Name() string {
+	if l.LogMap {
+		return "NaiveBayes+logmap"
+	}
+	return "NaiveBayes"
+}
+
+// Model is a fitted Naïve Bayes classifier.
+type Model struct {
+	logMap bool
+	attrs  []dataset.Attribute
+	prior  []float64 // log priors per class
+
+	// Numeric attributes: per class, per attribute Gaussian params.
+	mean, stdev [][]float64
+	// Nominal attributes: per class, per attribute, per value log
+	// probability.
+	nominal [][][]float64
+}
+
+var (
+	_ mining.Classifier  = (*Model)(nil)
+	_ mining.Distributor = (*Model)(nil)
+)
+
+// minStdev floors the Gaussian spread to keep densities finite on
+// constant attributes.
+const minStdev = 1e-6
+
+// Fit implements mining.Learner.
+func (l Learner) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	nClass := len(d.ClassValues)
+	nAttr := len(d.Attrs)
+
+	m := &Model{logMap: l.LogMap, attrs: d.Attrs}
+	m.prior = make([]float64, nClass)
+	m.mean = make2D(nClass, nAttr)
+	m.stdev = make2D(nClass, nAttr)
+	m.nominal = make([][][]float64, nClass)
+
+	welford := make([][]stats.Welford, nClass)
+	counts := make([][][]float64, nClass)
+	classW := make([]float64, nClass)
+	for c := 0; c < nClass; c++ {
+		welford[c] = make([]stats.Welford, nAttr)
+		counts[c] = make([][]float64, nAttr)
+		m.nominal[c] = make([][]float64, nAttr)
+		for a := 0; a < nAttr; a++ {
+			if d.Attrs[a].Type == dataset.Nominal {
+				counts[c][a] = make([]float64, len(d.Attrs[a].Values))
+			}
+		}
+	}
+
+	totalW := 0.0
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		c := in.Class
+		classW[c] += in.Weight
+		totalW += in.Weight
+		for a, v := range in.Values {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if d.Attrs[a].Type == dataset.Numeric {
+				welford[c][a].Add(l.transform(v))
+			} else {
+				counts[c][a][int(v)] += in.Weight
+			}
+		}
+	}
+	for c := 0; c < nClass; c++ {
+		// Laplace-smoothed log prior.
+		m.prior[c] = math.Log((classW[c] + 1) / (totalW + float64(nClass)))
+		for a := 0; a < nAttr; a++ {
+			if d.Attrs[a].Type == dataset.Numeric {
+				m.mean[c][a] = welford[c][a].Mean()
+				sd := math.Sqrt(welford[c][a].SampleVariance())
+				if sd < minStdev {
+					sd = minStdev
+				}
+				m.stdev[c][a] = sd
+				continue
+			}
+			vals := len(d.Attrs[a].Values)
+			total := 0.0
+			for _, w := range counts[c][a] {
+				total += w
+			}
+			m.nominal[c][a] = make([]float64, vals)
+			for v := 0; v < vals; v++ {
+				m.nominal[c][a][v] = math.Log((counts[c][a][v] + 1) / (total + float64(vals)))
+			}
+		}
+	}
+	return m, nil
+}
+
+func (l Learner) transform(v float64) float64 {
+	if l.LogMap {
+		return stats.SignedLog(v)
+	}
+	return v
+}
+
+// Classify implements mining.Classifier.
+func (m *Model) Classify(values []float64) int {
+	dist := m.Distribution(values)
+	best := 0
+	for c := 1; c < len(dist); c++ {
+		if dist[c] > dist[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Distribution implements mining.Distributor.
+func (m *Model) Distribution(values []float64) []float64 {
+	nClass := len(m.prior)
+	logs := make([]float64, nClass)
+	for c := 0; c < nClass; c++ {
+		lp := m.prior[c]
+		for a, v := range values {
+			if a >= len(m.attrs) || dataset.IsMissing(v) {
+				continue
+			}
+			if m.attrs[a].Type == dataset.Numeric {
+				x := v
+				if m.logMap {
+					x = stats.SignedLog(v)
+				}
+				lp += logGaussian(x, m.mean[c][a], m.stdev[c][a])
+			} else {
+				idx := int(v)
+				if idx >= 0 && idx < len(m.nominal[c][a]) {
+					lp += m.nominal[c][a][idx]
+				}
+			}
+		}
+		logs[c] = lp
+	}
+	// Normalise in log space.
+	maxLog := logs[0]
+	for _, lv := range logs[1:] {
+		if lv > maxLog {
+			maxLog = lv
+		}
+	}
+	dist := make([]float64, nClass)
+	total := 0.0
+	for c, lv := range logs {
+		dist[c] = math.Exp(lv - maxLog)
+		total += dist[c]
+	}
+	if total > 0 {
+		for c := range dist {
+			dist[c] /= total
+		}
+	}
+	return dist
+}
+
+func logGaussian(x, mean, sd float64) float64 {
+	if math.IsInf(x, 0) || math.IsNaN(x) {
+		// Corrupted magnitudes beyond float range: treat as extremely
+		// unlikely under any finite Gaussian, equally for all classes.
+		return -745 // ~log(smallest positive float64)
+	}
+	z := (x - mean) / sd
+	return -0.5*z*z - math.Log(sd) - 0.9189385332046727 // log(sqrt(2*pi))
+}
+
+func make2D(rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package bayes
+
+import (
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+func gaussianDataset(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("g", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NominalAttr("m", "a", "b"),
+	}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			// Negative: x ~ N(0,1), mode mostly "a".
+			m := 0.0
+			if rng.Float64() < 0.2 {
+				m = 1
+			}
+			d.MustAdd(dataset.Instance{Values: []float64{rng.NormFloat64(), m}, Class: 0, Weight: 1})
+		} else {
+			// Positive: x ~ N(4,1), mode mostly "b".
+			m := 1.0
+			if rng.Float64() < 0.2 {
+				m = 0
+			}
+			d.MustAdd(dataset.Instance{Values: []float64{4 + rng.NormFloat64(), m}, Class: 1, Weight: 1})
+		}
+	}
+	return d
+}
+
+func accuracy(c mining.Classifier, d *dataset.Dataset) float64 {
+	correct := 0
+	for i := range d.Instances {
+		if c.Classify(d.Instances[i].Values) == d.Instances[i].Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+func TestNaiveBayesSeparatesGaussians(t *testing.T) {
+	d := gaussianDataset(600, 1)
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, d); acc < 0.95 {
+		t.Errorf("accuracy = %.3f", acc)
+	}
+}
+
+func TestNaiveBayesDistribution(t *testing.T) {
+	d := gaussianDataset(400, 2)
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := model.(mining.Distributor).Distribution([]float64{4, 1})
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	if dist[1] < 0.9 {
+		t.Errorf("clear positive scored %v", dist[1])
+	}
+}
+
+func TestNaiveBayesMissingValues(t *testing.T) {
+	d := gaussianDataset(400, 3)
+	d.Instances[0].Values[0] = dataset.Missing
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Classifying with a missing value uses the prior + remaining attrs.
+	got := model.Classify([]float64{dataset.Missing, 1})
+	if got != 1 {
+		t.Errorf("missing-x classification = %d, want mode-driven 1", got)
+	}
+}
+
+func TestNaiveBayesLogMapHandlesExtremes(t *testing.T) {
+	// Bit-flip magnitudes (1e300) overflow plain Gaussian likelihoods;
+	// the signed log mapping keeps them ordered. Both variants must at
+	// least not crash and must classify the training data sensibly.
+	d := dataset.New("x", []dataset.Attribute{dataset.NumericAttr("v")}, []string{"neg", "pos"})
+	rng := stats.NewRNG(4)
+	for i := 0; i < 200; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{rng.Float64() * 100}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < 40; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{1e250 * (1 + rng.Float64())}, Class: 1, Weight: 1})
+	}
+	plain, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logm, err := Learner{LogMap: true}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(logm, d); acc < 0.99 {
+		t.Errorf("logmap accuracy = %.3f", acc)
+	}
+	_ = plain.Classify([]float64{1e308}) // must not panic
+}
+
+func TestNaiveBayesNames(t *testing.T) {
+	if (Learner{}).Name() != "NaiveBayes" {
+		t.Error("name")
+	}
+	if (Learner{LogMap: true}).Name() != "NaiveBayes+logmap" {
+		t.Error("logmap name")
+	}
+}
+
+func TestNaiveBayesInvalidDataset(t *testing.T) {
+	d := dataset.New("bad", nil, []string{"a"})
+	if _, err := (Learner{}).Fit(d); err == nil {
+		t.Error("invalid dataset should fail")
+	}
+}
+
+func TestNaiveBayesPriors(t *testing.T) {
+	// With identical likelihoods the prior dominates.
+	d := dataset.New("p", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	for i := 0; i < 90; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{1}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < 10; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{1}, Class: 1, Weight: 1})
+	}
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Classify([]float64{1}) != 0 {
+		t.Error("prior-dominated classification should pick the majority")
+	}
+}

@@ -1,0 +1,211 @@
+// Package costs implements the cost-sensitive learning machinery the
+// paper surveys in §IV: cost matrices and their reduction to cost
+// vectors (Breiman et al. [29]), instance weighting from cost vectors
+// (Ting [31]), and minimum-expected-cost classification on top of any
+// learner that exposes class distributions. In safety-critical systems
+// a missed failure (false negative) costs far more than a false alarm;
+// these tools let the induction process reflect that.
+package costs
+
+import (
+	"errors"
+	"fmt"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+)
+
+// Matrix is an m×m misclassification cost matrix: Matrix[i][j] is the
+// cost of predicting class j for an instance of class i. The diagonal
+// is conventionally zero (no cost for a correct classification).
+type Matrix [][]float64
+
+// Validate checks the matrix shape against a class count.
+func (c Matrix) Validate(nClasses int) error {
+	if len(c) != nClasses {
+		return fmt.Errorf("costs: matrix has %d rows, want %d", len(c), nClasses)
+	}
+	for i, row := range c {
+		if len(row) != nClasses {
+			return fmt.Errorf("costs: row %d has %d columns, want %d", i, len(row), nClasses)
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("costs: negative cost at (%d,%d)", i, j)
+			}
+		}
+		if row[i] != 0 {
+			return fmt.Errorf("costs: nonzero diagonal at class %d", i)
+		}
+	}
+	return nil
+}
+
+// Uniform returns the 0/1 cost matrix, under which minimising expected
+// cost reduces to minimising error (paper §IV).
+func Uniform(nClasses int) Matrix {
+	m := make(Matrix, nClasses)
+	for i := range m {
+		m[i] = make([]float64, nClasses)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = 1
+			}
+		}
+	}
+	return m
+}
+
+// FalseNegativePenalty returns the binary safety-critical matrix: a
+// missed positive (failure classified as non-failure) costs `penalty`
+// times a false alarm.
+func FalseNegativePenalty(penalty float64) Matrix {
+	return Matrix{
+		{0, 1},
+		{penalty, 0},
+	}
+}
+
+// VectorReduction selects how an m×m matrix collapses into a per-class
+// cost vector for instance weighting.
+type VectorReduction int
+
+// Reductions proposed in the literature (paper §IV).
+const (
+	// SumReduction uses the sum of all misclassification costs for the
+	// class (Breiman et al.).
+	SumReduction VectorReduction = iota + 1
+	// MaxReduction uses V(i) = max_j C(i,j).
+	MaxReduction
+)
+
+// Vector reduces the cost matrix to a per-class cost vector.
+func (c Matrix) Vector(r VectorReduction) ([]float64, error) {
+	if len(c) == 0 {
+		return nil, errors.New("costs: empty matrix")
+	}
+	v := make([]float64, len(c))
+	for i, row := range c {
+		switch r {
+		case SumReduction:
+			for _, x := range row {
+				v[i] += x
+			}
+		case MaxReduction:
+			for _, x := range row {
+				if x > v[i] {
+					v[i] = x
+				}
+			}
+		default:
+			return nil, fmt.Errorf("costs: unknown reduction %d", int(r))
+		}
+	}
+	return v, nil
+}
+
+// Reweight returns a copy of d with Ting's instance weights applied:
+//
+//	w(j) = V(j) * N / sum_i V(i) * N_i
+//
+// so the total training weight stays N while classes are reweighted in
+// proportion to their misclassification cost. Algorithms that honour
+// instance weights (C4.5 here does) then minimise expected cost
+// implicitly (Ting [31]).
+func Reweight(d *dataset.Dataset, vector []float64) (*dataset.Dataset, error) {
+	if len(vector) != len(d.ClassValues) {
+		return nil, fmt.Errorf("costs: vector has %d entries, want %d", len(vector), len(d.ClassValues))
+	}
+	counts := d.ClassCounts()
+	n := float64(d.Len())
+	denom := 0.0
+	for i, v := range vector {
+		if v < 0 {
+			return nil, fmt.Errorf("costs: negative vector entry for class %d", i)
+		}
+		denom += v * float64(counts[i])
+	}
+	if denom == 0 {
+		return nil, errors.New("costs: zero total cost; nothing to reweight")
+	}
+	out := d.Clone()
+	for i := range out.Instances {
+		c := out.Instances[i].Class
+		out.Instances[i].Weight = vector[c] * n / denom
+	}
+	return out, nil
+}
+
+// MinExpectedCost wraps a probabilistic classifier so labels minimise
+// expected misclassification cost instead of error: the predicted class
+// is argmin_j sum_i P(i|x) * C(i,j) (Ting's minimum expected cost
+// criterion, paper §IV).
+type MinExpectedCost struct {
+	Base   mining.Distributor
+	Costs  Matrix
+	labels int
+}
+
+var _ mining.Classifier = (*MinExpectedCost)(nil)
+
+// NewMinExpectedCost validates the cost matrix against the class count
+// and wraps the classifier.
+func NewMinExpectedCost(base mining.Distributor, costs Matrix, nClasses int) (*MinExpectedCost, error) {
+	if err := costs.Validate(nClasses); err != nil {
+		return nil, err
+	}
+	return &MinExpectedCost{Base: base, Costs: costs, labels: nClasses}, nil
+}
+
+// Classify implements mining.Classifier.
+func (m *MinExpectedCost) Classify(values []float64) int {
+	dist := m.Base.Distribution(values)
+	best, bestCost := 0, 0.0
+	for j := 0; j < m.labels; j++ {
+		cost := 0.0
+		for i := 0; i < m.labels && i < len(dist); i++ {
+			cost += dist[i] * m.Costs[i][j]
+		}
+		if j == 0 || cost < bestCost {
+			best, bestCost = j, cost
+		}
+	}
+	return best
+}
+
+// CostSensitiveLearner composes a base learner with Ting-style instance
+// weighting: training data is reweighted by the cost vector before the
+// base learner runs. It implements mining.Learner, so it slots into
+// cross-validation unchanged.
+type CostSensitiveLearner struct {
+	Base      mining.Learner
+	Costs     Matrix
+	Reduction VectorReduction
+}
+
+var _ mining.Learner = CostSensitiveLearner{}
+
+// Name implements mining.Learner.
+func (l CostSensitiveLearner) Name() string {
+	return l.Base.Name() + "+costs"
+}
+
+// Fit implements mining.Learner.
+func (l CostSensitiveLearner) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if err := l.Costs.Validate(len(d.ClassValues)); err != nil {
+		return nil, err
+	}
+	r := l.Reduction
+	if r == 0 {
+		r = SumReduction
+	}
+	vector, err := l.Costs.Vector(r)
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := Reweight(d, vector)
+	if err != nil {
+		return nil, err
+	}
+	return l.Base.Fit(weighted)
+}

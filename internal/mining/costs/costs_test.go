@@ -1,0 +1,218 @@
+package costs
+
+import (
+	"math"
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/mining/tree"
+	"edem/internal/stats"
+)
+
+func TestMatrixValidate(t *testing.T) {
+	if err := Uniform(3).Validate(3); err != nil {
+		t.Fatalf("uniform matrix: %v", err)
+	}
+	if err := (Matrix{{0, 1}}).Validate(2); err == nil {
+		t.Error("short matrix should fail")
+	}
+	if err := (Matrix{{0, 1}, {1}}).Validate(2); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+	if err := (Matrix{{1, 1}, {1, 0}}).Validate(2); err == nil {
+		t.Error("nonzero diagonal should fail")
+	}
+	if err := (Matrix{{0, -1}, {1, 0}}).Validate(2); err == nil {
+		t.Error("negative cost should fail")
+	}
+}
+
+func TestFalseNegativePenalty(t *testing.T) {
+	m := FalseNegativePenalty(10)
+	if err := m.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	if m[1][0] != 10 || m[0][1] != 1 {
+		t.Fatalf("matrix = %v", m)
+	}
+}
+
+func TestVectorReductions(t *testing.T) {
+	m := Matrix{
+		{0, 2, 3},
+		{4, 0, 1},
+		{6, 7, 0},
+	}
+	sum, err := m.Vector(SumReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum[0] != 5 || sum[1] != 5 || sum[2] != 13 {
+		t.Fatalf("sum vector = %v", sum)
+	}
+	max, err := m.Vector(MaxReduction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max[0] != 3 || max[1] != 4 || max[2] != 7 {
+		t.Fatalf("max vector = %v", max)
+	}
+	if _, err := m.Vector(VectorReduction(0)); err == nil {
+		t.Error("unknown reduction should fail")
+	}
+	if _, err := (Matrix{}).Vector(SumReduction); err == nil {
+		t.Error("empty matrix should fail")
+	}
+}
+
+func imbalanced(nNeg, nPos int, seed uint64) *dataset.Dataset {
+	d := dataset.New("imb", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < nNeg; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{rng.Float64()}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < nPos; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{0.9 + rng.Float64()*0.3}, Class: 1, Weight: 1})
+	}
+	return d
+}
+
+func TestReweightTingFormula(t *testing.T) {
+	d := imbalanced(90, 10, 1)
+	// Positives cost 9x: weights should equalise the class masses.
+	out, err := Reweight(d, []float64{1, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total weight preserved at N.
+	total := out.TotalWeight()
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("total weight = %v, want 100", total)
+	}
+	ws := out.ClassWeights()
+	if math.Abs(ws[0]-ws[1]) > 1e-9 {
+		t.Fatalf("class weights %v should be equal under a 9:1 vector on 1:9 imbalance", ws)
+	}
+	// Input untouched.
+	if d.Instances[0].Weight != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestReweightErrors(t *testing.T) {
+	d := imbalanced(5, 5, 2)
+	if _, err := Reweight(d, []float64{1}); err == nil {
+		t.Error("short vector should fail")
+	}
+	if _, err := Reweight(d, []float64{0, 0}); err == nil {
+		t.Error("zero vector should fail")
+	}
+	if _, err := Reweight(d, []float64{-1, 1}); err == nil {
+		t.Error("negative vector should fail")
+	}
+}
+
+// constDist is a Distributor with a fixed class distribution.
+type constDist []float64
+
+func (c constDist) Classify([]float64) int {
+	best := 0
+	for i := range c {
+		if c[i] > c[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func (c constDist) Distribution([]float64) []float64 { return c }
+
+func TestMinExpectedCostFlipsDecision(t *testing.T) {
+	// P(pos) = 0.2: error minimisation says "neg", but with a 10x FN
+	// penalty the expected cost of predicting neg is 0.2*10=2 vs 0.8*1
+	// for predicting pos.
+	base := constDist{0.8, 0.2}
+	mec, err := NewMinExpectedCost(base, FalseNegativePenalty(10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Classify(nil) != 0 {
+		t.Fatal("base should predict neg")
+	}
+	if mec.Classify(nil) != 1 {
+		t.Fatal("minimum expected cost should predict pos")
+	}
+	// Under uniform costs the decision reverts to the majority.
+	uniform, err := NewMinExpectedCost(base, Uniform(2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uniform.Classify(nil) != 0 {
+		t.Fatal("uniform costs should match error minimisation")
+	}
+}
+
+func TestNewMinExpectedCostValidates(t *testing.T) {
+	if _, err := NewMinExpectedCost(constDist{1, 0}, Matrix{{0}}, 2); err == nil {
+		t.Fatal("bad matrix should fail")
+	}
+}
+
+func TestCostSensitiveLearnerRecall(t *testing.T) {
+	// Overlapping classes with few positives: a high FN penalty must
+	// raise recall relative to the plain learner.
+	d := dataset.New("ov", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	rng := stats.NewRNG(3)
+	for i := 0; i < 300; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{rng.Float64()}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < 30; i++ {
+		// Positives overlap the upper half of the negatives.
+		d.MustAdd(dataset.Instance{Values: []float64{0.5 + rng.Float64()*0.5}, Class: 1, Weight: 1})
+	}
+	recall := func(c mining.Classifier) float64 {
+		tp, fn := 0, 0
+		for i := range d.Instances {
+			if d.Instances[i].Class != 1 {
+				continue
+			}
+			if c.Classify(d.Instances[i].Values) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	plain, err := tree.Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := CostSensitiveLearner{
+		Base:  tree.Learner{},
+		Costs: FalseNegativePenalty(20),
+	}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recall(costly) <= recall(plain) {
+		t.Errorf("cost-sensitive recall %.3f should exceed plain %.3f",
+			recall(costly), recall(plain))
+	}
+}
+
+func TestCostSensitiveLearnerName(t *testing.T) {
+	l := CostSensitiveLearner{Base: tree.Learner{}, Costs: Uniform(2)}
+	if l.Name() != "C4.5+costs" {
+		t.Errorf("name = %q", l.Name())
+	}
+}
+
+func TestCostSensitiveLearnerValidates(t *testing.T) {
+	d := imbalanced(10, 5, 4)
+	l := CostSensitiveLearner{Base: tree.Learner{}, Costs: Matrix{{0}}}
+	if _, err := l.Fit(d); err == nil {
+		t.Fatal("bad matrix should fail at fit time")
+	}
+}

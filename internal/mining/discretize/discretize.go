@@ -1,0 +1,289 @@
+// Package discretize converts numeric attributes into nominal interval
+// attributes — unsupervised (equal-width, equal-frequency) and
+// supervised (Fayyad & Irani's entropy minimisation with the MDL
+// stopping criterion, the discretizer bundled with the Weka suite the
+// paper uses). Discretization lets frequency-based learners such as
+// Naïve Bayes and the rule inducers consume the continuous program
+// state captured by fault injection.
+package discretize
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"edem/internal/dataset"
+)
+
+// Discretizer holds per-attribute cut points. Numeric attribute i is
+// mapped to the interval index found by binary search over Cuts[i];
+// attributes with no cuts (nominal inputs, or nothing to gain) pass
+// through unchanged.
+type Discretizer struct {
+	Cuts  [][]float64
+	attrs []dataset.Attribute
+}
+
+// ErrNoData is returned when fitting on an empty dataset.
+var ErrNoData = errors.New("discretize: empty dataset")
+
+// FitEqualWidth computes bins-1 equally spaced cut points per numeric
+// attribute over its observed range.
+func FitEqualWidth(d *dataset.Dataset, bins int) (*Discretizer, error) {
+	if d.Len() == 0 {
+		return nil, ErrNoData
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("discretize: need >= 2 bins, got %d", bins)
+	}
+	z := &Discretizer{Cuts: make([][]float64, len(d.Attrs)), attrs: d.Attrs}
+	for a := range d.Attrs {
+		if d.Attrs[a].Type != dataset.Numeric {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range d.Instances {
+			v := d.Instances[i].Values[a]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if !(hi > lo) {
+			continue // constant or empty column
+		}
+		width := (hi - lo) / float64(bins)
+		cuts := make([]float64, 0, bins-1)
+		for b := 1; b < bins; b++ {
+			cuts = append(cuts, lo+width*float64(b))
+		}
+		z.Cuts[a] = cuts
+	}
+	return z, nil
+}
+
+// FitEqualFrequency computes cut points so each bin holds roughly the
+// same number of observed values.
+func FitEqualFrequency(d *dataset.Dataset, bins int) (*Discretizer, error) {
+	if d.Len() == 0 {
+		return nil, ErrNoData
+	}
+	if bins < 2 {
+		return nil, fmt.Errorf("discretize: need >= 2 bins, got %d", bins)
+	}
+	z := &Discretizer{Cuts: make([][]float64, len(d.Attrs)), attrs: d.Attrs}
+	for a := range d.Attrs {
+		if d.Attrs[a].Type != dataset.Numeric {
+			continue
+		}
+		var vals []float64
+		for i := range d.Instances {
+			v := d.Instances[i].Values[a]
+			if !dataset.IsMissing(v) {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) < 2 {
+			continue
+		}
+		sort.Float64s(vals)
+		var cuts []float64
+		prev := math.Inf(-1)
+		for b := 1; b < bins; b++ {
+			c := vals[len(vals)*b/bins]
+			if c != prev && c > vals[0] {
+				cuts = append(cuts, c)
+				prev = c
+			}
+		}
+		z.Cuts[a] = cuts
+	}
+	return z, nil
+}
+
+// FitMDL computes supervised cut points per numeric attribute by
+// recursive entropy minimisation with the Fayyad-Irani MDL stopping
+// criterion: a binary cut is accepted only when its information gain
+// exceeds (log2(N-1) + log2(3^k - 2) - k*E + k1*E1 + k2*E2) / N.
+func FitMDL(d *dataset.Dataset) (*Discretizer, error) {
+	if d.Len() == 0 {
+		return nil, ErrNoData
+	}
+	nClasses := len(d.ClassValues)
+	z := &Discretizer{Cuts: make([][]float64, len(d.Attrs)), attrs: d.Attrs}
+	for a := range d.Attrs {
+		if d.Attrs[a].Type != dataset.Numeric {
+			continue
+		}
+		type vc struct {
+			v float64
+			c int
+		}
+		var vals []vc
+		for i := range d.Instances {
+			v := d.Instances[i].Values[a]
+			if !dataset.IsMissing(v) {
+				vals = append(vals, vc{v: v, c: d.Instances[i].Class})
+			}
+		}
+		if len(vals) < 4 {
+			continue
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+		values := make([]float64, len(vals))
+		classes := make([]int, len(vals))
+		for i, x := range vals {
+			values[i] = x.v
+			classes[i] = x.c
+		}
+		var cuts []float64
+		mdlSplit(values, classes, 0, len(values), nClasses, &cuts)
+		sort.Float64s(cuts)
+		z.Cuts[a] = cuts
+	}
+	return z, nil
+}
+
+// mdlSplit recursively partitions [lo,hi) of the sorted values.
+func mdlSplit(values []float64, classes []int, lo, hi, nClasses int, cuts *[]float64) {
+	n := hi - lo
+	if n < 4 {
+		return
+	}
+	total := make([]float64, nClasses)
+	for i := lo; i < hi; i++ {
+		total[classes[i]]++
+	}
+	baseEnt := entropyOf(total, float64(n))
+
+	left := make([]float64, nClasses)
+	right := append([]float64(nil), total...)
+
+	bestGain := -1.0
+	bestIdx := -1
+	var bestLeftEnt, bestRightEnt float64
+	var bestK1, bestK2 int
+	for i := lo; i < hi-1; i++ {
+		left[classes[i]]++
+		right[classes[i]]--
+		if values[i] == values[i+1] {
+			continue
+		}
+		nl := float64(i - lo + 1)
+		nr := float64(hi - i - 1)
+		el := entropyOf(left, nl)
+		er := entropyOf(right, nr)
+		gain := baseEnt - (nl*el+nr*er)/float64(n)
+		if gain > bestGain {
+			bestGain = gain
+			bestIdx = i
+			bestLeftEnt, bestRightEnt = el, er
+			bestK1, bestK2 = distinctClasses(left), distinctClasses(right)
+		}
+	}
+	if bestIdx < 0 {
+		return
+	}
+
+	k := distinctClasses(total)
+	delta := math.Log2(math.Pow(3, float64(k))-2) -
+		(float64(k)*baseEnt - float64(bestK1)*bestLeftEnt - float64(bestK2)*bestRightEnt)
+	threshold := (math.Log2(float64(n-1)) + delta) / float64(n)
+	if bestGain <= threshold {
+		return
+	}
+
+	cut := (values[bestIdx] + values[bestIdx+1]) / 2
+	*cuts = append(*cuts, cut)
+	mdlSplit(values, classes, lo, bestIdx+1, nClasses, cuts)
+	mdlSplit(values, classes, bestIdx+1, hi, nClasses, cuts)
+}
+
+func entropyOf(counts []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	e := 0.0
+	for _, c := range counts {
+		if c > 0 {
+			p := c / n
+			e -= p * math.Log2(p)
+		}
+	}
+	return e
+}
+
+func distinctClasses(counts []float64) int {
+	k := 0
+	for _, c := range counts {
+		if c > 0 {
+			k++
+		}
+	}
+	return k
+}
+
+// Apply maps the dataset through the fitted cuts: numeric attributes
+// with cut points become nominal interval attributes; everything else
+// is copied unchanged. Missing values stay missing.
+func (z *Discretizer) Apply(d *dataset.Dataset) (*dataset.Dataset, error) {
+	if len(z.Cuts) != len(d.Attrs) {
+		return nil, fmt.Errorf("discretize: fitted on %d attributes, dataset has %d", len(z.Cuts), len(d.Attrs))
+	}
+	attrs := make([]dataset.Attribute, len(d.Attrs))
+	for a, src := range d.Attrs {
+		cuts := z.Cuts[a]
+		if src.Type != dataset.Numeric || len(cuts) == 0 {
+			attrs[a] = src
+			continue
+		}
+		labels := make([]string, 0, len(cuts)+1)
+		for b := 0; b <= len(cuts); b++ {
+			labels = append(labels, binLabel(cuts, b))
+		}
+		attrs[a] = dataset.NominalAttr(src.Name, labels...)
+	}
+	out := dataset.New(d.Name, attrs, d.ClassValues)
+	for i := range d.Instances {
+		in := d.Instances[i].Clone()
+		for a := range d.Attrs {
+			cuts := z.Cuts[a]
+			if d.Attrs[a].Type != dataset.Numeric || len(cuts) == 0 {
+				continue
+			}
+			v := in.Values[a]
+			if dataset.IsMissing(v) {
+				continue
+			}
+			in.Values[a] = float64(binOf(cuts, v))
+		}
+		if err := out.Add(in); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// binOf returns the index of the interval containing v.
+func binOf(cuts []float64, v float64) int {
+	return sort.SearchFloat64s(cuts, v)
+}
+
+func binLabel(cuts []float64, b int) string {
+	format := func(x float64) string { return strconv.FormatFloat(x, 'g', 6, 64) }
+	switch {
+	case b == 0:
+		return "(-inf.." + format(cuts[0]) + "]"
+	case b == len(cuts):
+		return "(" + format(cuts[len(cuts)-1]) + "..inf)"
+	default:
+		return "(" + format(cuts[b-1]) + ".." + format(cuts[b]) + "]"
+	}
+}

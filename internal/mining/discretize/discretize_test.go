@@ -1,0 +1,179 @@
+package discretize
+
+import (
+	"errors"
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/stats"
+)
+
+func twoGaussians(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("g", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NominalAttr("m", "a", "b"),
+	}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			d.MustAdd(dataset.Instance{Values: []float64{rng.NormFloat64(), 0}, Class: 0, Weight: 1})
+		} else {
+			d.MustAdd(dataset.Instance{Values: []float64{6 + rng.NormFloat64(), 1}, Class: 1, Weight: 1})
+		}
+	}
+	return d
+}
+
+func TestFitEqualWidth(t *testing.T) {
+	d := dataset.New("w", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b"})
+	for _, v := range []float64{0, 2, 4, 6, 8, 10} {
+		d.MustAdd(dataset.Instance{Values: []float64{v}, Class: 0, Weight: 1})
+	}
+	z, err := FitEqualWidth(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6, 8}
+	if len(z.Cuts[0]) != len(want) {
+		t.Fatalf("cuts = %v", z.Cuts[0])
+	}
+	for i, c := range want {
+		if diff := z.Cuts[0][i] - c; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("cut %d = %v, want %v", i, z.Cuts[0][i], c)
+		}
+	}
+}
+
+func TestFitEqualFrequency(t *testing.T) {
+	d := dataset.New("f", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b"})
+	for i := 0; i < 100; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{float64(i)}, Class: 0, Weight: 1})
+	}
+	z, err := FitEqualFrequency(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := z.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 4)
+	for i := range out.Instances {
+		counts[int(out.Instances[i].Values[0])]++
+	}
+	for b, n := range counts {
+		if n < 20 || n > 30 {
+			t.Errorf("bin %d holds %d values, want ~25", b, n)
+		}
+	}
+}
+
+func TestFitMDLFindsSeparatingCut(t *testing.T) {
+	d := twoGaussians(400, 1)
+	z, err := FitMDL(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cuts := z.Cuts[0]
+	if len(cuts) == 0 {
+		t.Fatal("MDL found no cut on separable data")
+	}
+	// A cut should land between the class means (0 and 6).
+	found := false
+	for _, c := range cuts {
+		if c > 1 && c < 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cut in the separation gap: %v", cuts)
+	}
+	// Nominal attributes stay untouched.
+	if len(z.Cuts[1]) != 0 {
+		t.Errorf("nominal attribute got cuts: %v", z.Cuts[1])
+	}
+}
+
+func TestFitMDLRejectsNoise(t *testing.T) {
+	// Labels independent of x: the MDL criterion should accept no cut.
+	d := dataset.New("n", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b"})
+	rng := stats.NewRNG(2)
+	for i := 0; i < 400; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{rng.Float64()}, Class: rng.Intn(2), Weight: 1})
+	}
+	z, err := FitMDL(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z.Cuts[0]) != 0 {
+		t.Errorf("MDL accepted cuts on noise: %v", z.Cuts[0])
+	}
+}
+
+func TestApplyProducesValidNominalDataset(t *testing.T) {
+	d := twoGaussians(200, 3)
+	d.Instances[5].Values[0] = dataset.Missing
+	z, err := FitMDL(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := z.Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("discretized dataset invalid: %v", err)
+	}
+	if out.Attrs[0].Type != dataset.Nominal {
+		t.Error("numeric attribute not converted")
+	}
+	if !dataset.IsMissing(out.Instances[5].Values[0]) {
+		t.Error("missing value not preserved")
+	}
+	// Interval labels carry the boundary syntax.
+	if out.Attrs[0].Values[0][:5] != "(-inf" {
+		t.Errorf("first label = %q", out.Attrs[0].Values[0])
+	}
+}
+
+func TestApplyBoundaryMembership(t *testing.T) {
+	z := &Discretizer{Cuts: [][]float64{{10, 20}}}
+	for _, tt := range []struct {
+		v    float64
+		want int
+	}{
+		{5, 0}, {10, 0}, {10.5, 1}, {20, 1}, {21, 2},
+	} {
+		if got := binOf(z.Cuts[0], tt.v); got != tt.want {
+			t.Errorf("binOf(%v) = %d, want %d", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestApplyArityMismatch(t *testing.T) {
+	d := twoGaussians(20, 4)
+	z := &Discretizer{Cuts: [][]float64{{1}}}
+	if _, err := z.Apply(d); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	empty := dataset.New("e", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a"})
+	if _, err := FitEqualWidth(empty, 3); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitEqualFrequency(empty, 3); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := FitMDL(empty); !errors.Is(err, ErrNoData) {
+		t.Errorf("err = %v", err)
+	}
+	d := twoGaussians(10, 5)
+	if _, err := FitEqualWidth(d, 1); err == nil {
+		t.Error("1 bin should fail")
+	}
+	if _, err := FitEqualFrequency(d, 0); err == nil {
+		t.Error("0 bins should fail")
+	}
+}

@@ -1,0 +1,241 @@
+// Package ensemble implements bagging and AdaBoost.M1 over any base
+// learner that honours instance weights. The paper's survey (§IV) cites
+// misclassification-cost-sensitive boosting (Fan et al. [33]); the
+// boosting here supports that through an optional per-class cost vector
+// applied to the weight updates, and both ensembles slot into the
+// cross-validation harness as ordinary learners.
+package ensemble
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+// ---------------------------------------------------------------------
+// Bagging
+
+// Bagging trains Rounds bootstrap replicates of the base learner and
+// classifies by majority vote.
+type Bagging struct {
+	// Base is the base learner (required).
+	Base mining.Learner
+	// Rounds is the ensemble size (default 10).
+	Rounds int
+	// Seed drives the bootstrap resampling.
+	Seed uint64
+}
+
+var _ mining.Learner = Bagging{}
+
+// Name implements mining.Learner.
+func (b Bagging) Name() string { return fmt.Sprintf("Bagging(%s)", b.Base.Name()) }
+
+func (b Bagging) rounds() int {
+	if b.Rounds <= 0 {
+		return 10
+	}
+	return b.Rounds
+}
+
+// voteModel is a committee with per-member weights.
+type voteModel struct {
+	members []mining.Classifier
+	weights []float64
+	classes int
+}
+
+var (
+	_ mining.Classifier  = (*voteModel)(nil)
+	_ mining.Distributor = (*voteModel)(nil)
+	_ mining.Sizer       = (*voteModel)(nil)
+)
+
+func (m *voteModel) Distribution(values []float64) []float64 {
+	dist := make([]float64, m.classes)
+	total := 0.0
+	for i, member := range m.members {
+		dist[member.Classify(values)] += m.weights[i]
+		total += m.weights[i]
+	}
+	if total > 0 {
+		for c := range dist {
+			dist[c] /= total
+		}
+	}
+	return dist
+}
+
+func (m *voteModel) Classify(values []float64) int {
+	dist := m.Distribution(values)
+	best := 0
+	for c := 1; c < len(dist); c++ {
+		if dist[c] > dist[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Size reports the summed complexity of the committee members.
+func (m *voteModel) Size() int {
+	n := 0
+	for _, member := range m.members {
+		n += mining.ModelSize(member)
+	}
+	return n
+}
+
+// Fit implements mining.Learner.
+func (b Bagging) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if b.Base == nil {
+		return nil, errors.New("ensemble: bagging needs a base learner")
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("ensemble: empty training set")
+	}
+	rng := stats.NewRNG(b.Seed ^ 0xba99ed)
+	model := &voteModel{classes: len(d.ClassValues)}
+	for r := 0; r < b.rounds(); r++ {
+		boot := d.CloneSchema()
+		for i := 0; i < d.Len(); i++ {
+			boot.Instances = append(boot.Instances, d.Instances[rng.Intn(d.Len())].Clone())
+		}
+		member, err := b.Base.Fit(boot)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: round %d: %w", r, err)
+		}
+		model.members = append(model.members, member)
+		model.weights = append(model.weights, 1)
+	}
+	return model, nil
+}
+
+// ---------------------------------------------------------------------
+// AdaBoost.M1
+
+// AdaBoost implements AdaBoost.M1 with optional cost-sensitive weight
+// updates: when CostVector is set, misclassified instances of class j
+// receive update weight scaled by CostVector[j], biasing subsequent
+// rounds towards the expensive class (the CSB idea of Fan et al.).
+type AdaBoost struct {
+	// Base is the weak learner; it must honour instance weights
+	// (tree.Learner does).
+	Base mining.Learner
+	// Rounds is the boosting round count (default 10).
+	Rounds int
+	// CostVector, when non-nil, scales the weight boost of
+	// misclassified instances per class.
+	CostVector []float64
+}
+
+var _ mining.Learner = AdaBoost{}
+
+// Name implements mining.Learner.
+func (a AdaBoost) Name() string {
+	if a.CostVector != nil {
+		return fmt.Sprintf("CSB-AdaBoost(%s)", a.Base.Name())
+	}
+	return fmt.Sprintf("AdaBoost(%s)", a.Base.Name())
+}
+
+func (a AdaBoost) rounds() int {
+	if a.Rounds <= 0 {
+		return 10
+	}
+	return a.Rounds
+}
+
+// Fit implements mining.Learner.
+func (a AdaBoost) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if a.Base == nil {
+		return nil, errors.New("ensemble: boosting needs a base learner")
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("ensemble: empty training set")
+	}
+	if a.CostVector != nil && len(a.CostVector) != len(d.ClassValues) {
+		return nil, fmt.Errorf("ensemble: cost vector has %d entries, want %d",
+			len(a.CostVector), len(d.ClassValues))
+	}
+
+	// Weights are kept normalised to total N rather than 1: base
+	// learners like C4.5 use absolute weight thresholds (min leaf
+	// weight), which a unit-sum distribution would starve.
+	n := d.Len()
+	work := d.Clone()
+	for i := range work.Instances {
+		work.Instances[i].Weight = 1
+	}
+
+	model := &voteModel{classes: len(d.ClassValues)}
+	for r := 0; r < a.rounds(); r++ {
+		member, err := a.Base.Fit(work)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble: round %d: %w", r, err)
+		}
+		// Weighted training error of this member.
+		errW, totalW := 0.0, 0.0
+		miss := make([]bool, n)
+		for i := range work.Instances {
+			in := &work.Instances[i]
+			totalW += in.Weight
+			if member.Classify(in.Values) != in.Class {
+				miss[i] = true
+				errW += in.Weight
+			}
+		}
+		eps := errW / totalW
+		if eps >= 0.5 {
+			// Weak-learner assumption violated; stop with what we have.
+			break
+		}
+		if eps <= 0 {
+			// Perfect member: give it a large but finite say and stop.
+			model.members = append(model.members, member)
+			model.weights = append(model.weights, 10)
+			break
+		}
+		beta := eps / (1 - eps)
+		alpha := math.Log(1 / beta)
+		model.members = append(model.members, member)
+		model.weights = append(model.weights, alpha)
+
+		// Reweight: correctly classified instances shrink by beta;
+		// misclassified ones keep their weight, optionally inflated by
+		// the per-class cost.
+		sum := 0.0
+		for i := range work.Instances {
+			in := &work.Instances[i]
+			if miss[i] {
+				if a.CostVector != nil {
+					in.Weight *= a.CostVector[in.Class]
+				}
+			} else {
+				in.Weight *= beta
+			}
+			sum += in.Weight
+		}
+		if sum <= 0 {
+			break
+		}
+		scale := float64(n) / sum
+		for i := range work.Instances {
+			work.Instances[i].Weight *= scale
+		}
+	}
+	if len(model.members) == 0 {
+		// Degenerate data: fall back to a single unweighted member.
+		member, err := a.Base.Fit(d)
+		if err != nil {
+			return nil, err
+		}
+		model.members = append(model.members, member)
+		model.weights = append(model.weights, 1)
+	}
+	return model, nil
+}

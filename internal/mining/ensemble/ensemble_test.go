@@ -1,0 +1,206 @@
+package ensemble
+
+import (
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/mining/tree"
+	"edem/internal/stats"
+)
+
+// noisyInteraction is a dataset where a single shallow tree underfits:
+// an interaction concept plus label noise.
+func noisyInteraction(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("ni", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NumericAttr("y"),
+		dataset.NumericAttr("z"),
+	}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x, y, z := rng.Float64(), rng.Float64(), rng.Float64()
+		class := 0
+		if (x > 0.6 && y > 0.5) || z > 0.9 {
+			class = 1
+		}
+		if rng.Float64() < 0.1 {
+			class = 1 - class
+		}
+		d.MustAdd(dataset.Instance{Values: []float64{x, y, z}, Class: class, Weight: 1})
+	}
+	return d
+}
+
+func accuracy(c mining.Classifier, d *dataset.Dataset) float64 {
+	correct := 0
+	for i := range d.Instances {
+		if c.Classify(d.Instances[i].Values) == d.Instances[i].Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+func stump() tree.Learner {
+	return tree.Learner{Config: tree.Config{MaxDepth: 1, NoPrune: true}}
+}
+
+func TestBaggingVotes(t *testing.T) {
+	d := noisyInteraction(400, 1)
+	model, err := Bagging{Base: tree.Learner{}, Rounds: 7, Seed: 1}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, d); acc < 0.85 {
+		t.Errorf("bagging accuracy = %.3f", acc)
+	}
+	vm := model.(*voteModel)
+	if len(vm.members) != 7 {
+		t.Fatalf("members = %d", len(vm.members))
+	}
+	if mining.ModelSize(model) <= 7 {
+		t.Errorf("committee size = %d, expected sum of member sizes", mining.ModelSize(model))
+	}
+}
+
+func TestBaggingDeterminism(t *testing.T) {
+	d := noisyInteraction(200, 2)
+	m1, err := Bagging{Base: tree.Learner{}, Rounds: 5, Seed: 9}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Bagging{Base: tree.Learner{}, Rounds: 5, Seed: 9}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		vs := d.Instances[i].Values
+		if m1.Classify(vs) != m2.Classify(vs) {
+			t.Fatal("same-seed bagging differs")
+		}
+	}
+}
+
+func TestAdaBoostBeatsStump(t *testing.T) {
+	d := noisyInteraction(600, 3)
+	weak, err := stump().Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boosted, err := AdaBoost{Base: stump(), Rounds: 20}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weakAcc, boostedAcc := accuracy(weak, d), accuracy(boosted, d)
+	if boostedAcc <= weakAcc {
+		t.Errorf("boosting did not help: stump %.3f, boosted %.3f", weakAcc, boostedAcc)
+	}
+}
+
+func TestAdaBoostDistributionSums(t *testing.T) {
+	d := noisyInteraction(300, 4)
+	model, err := AdaBoost{Base: stump(), Rounds: 10}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := model.(*voteModel).Distribution(d.Instances[0].Values)
+	sum := 0.0
+	for _, p := range dist {
+		sum += p
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+func TestCostSensitiveBoostingRaisesRecall(t *testing.T) {
+	// Overlapping minority: the cost-sensitive update must trade false
+	// alarms for recall relative to plain AdaBoost.
+	d := dataset.New("ov", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	rng := stats.NewRNG(5)
+	for i := 0; i < 400; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{rng.Float64()}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < 40; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{0.4 + rng.Float64()*0.6}, Class: 1, Weight: 1})
+	}
+	recall := func(c mining.Classifier) float64 {
+		tp, fn := 0, 0
+		for i := range d.Instances {
+			if d.Instances[i].Class != 1 {
+				continue
+			}
+			if c.Classify(d.Instances[i].Values) == 1 {
+				tp++
+			} else {
+				fn++
+			}
+		}
+		return float64(tp) / float64(tp+fn)
+	}
+	plain, err := AdaBoost{Base: stump(), Rounds: 15}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csb, err := AdaBoost{Base: stump(), Rounds: 15, CostVector: []float64{1, 8}}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recall(csb) < recall(plain) {
+		t.Errorf("CSB recall %.3f < plain %.3f", recall(csb), recall(plain))
+	}
+}
+
+func TestEnsembleErrors(t *testing.T) {
+	d := noisyInteraction(50, 6)
+	if _, err := (Bagging{}).Fit(d); err == nil {
+		t.Error("bagging without base should fail")
+	}
+	if _, err := (AdaBoost{}).Fit(d); err == nil {
+		t.Error("boosting without base should fail")
+	}
+	empty := dataset.New("e", d.Attrs, d.ClassValues)
+	if _, err := (Bagging{Base: tree.Learner{}}).Fit(empty); err == nil {
+		t.Error("empty training should fail")
+	}
+	if _, err := (AdaBoost{Base: tree.Learner{}}).Fit(empty); err == nil {
+		t.Error("empty training should fail")
+	}
+	if _, err := (AdaBoost{Base: tree.Learner{}, CostVector: []float64{1}}).Fit(d); err == nil {
+		t.Error("short cost vector should fail")
+	}
+}
+
+func TestAdaBoostPerfectBase(t *testing.T) {
+	// Cleanly separable data: the first member is perfect; boosting
+	// must stop gracefully with a working committee.
+	d := dataset.New("sep", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b"})
+	for i := 0; i < 50; i++ {
+		class := 0
+		if i%2 == 0 {
+			class = 1
+		}
+		v := float64(class) * 10
+		d.MustAdd(dataset.Instance{Values: []float64{v}, Class: class, Weight: 1})
+	}
+	model, err := AdaBoost{Base: tree.Learner{}, Rounds: 10}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, d); acc != 1 {
+		t.Errorf("accuracy = %.3f", acc)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (Bagging{Base: tree.Learner{}}).Name() != "Bagging(C4.5)" {
+		t.Error("bagging name")
+	}
+	if (AdaBoost{Base: tree.Learner{}}).Name() != "AdaBoost(C4.5)" {
+		t.Error("adaboost name")
+	}
+	if (AdaBoost{Base: tree.Learner{}, CostVector: []float64{1, 2}}).Name() != "CSB-AdaBoost(C4.5)" {
+		t.Error("csb name")
+	}
+}

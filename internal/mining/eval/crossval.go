@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+// TrainTransform rewrites a training partition before learning — the
+// hook through which class-imbalance handling (undersampling,
+// oversampling, SMOTE) enters cross-validation. Transforms are applied
+// to training folds only; test folds always keep the natural
+// distribution, as in the paper's evaluation.
+type TrainTransform func(d *dataset.Dataset, rng *stats.RNG) (*dataset.Dataset, error)
+
+// CVConfig configures a cross-validation run.
+type CVConfig struct {
+	// Folds is the number of folds (the paper uses 10).
+	Folds int
+	// Seed drives fold assignment and any transform randomness.
+	Seed uint64
+	// Transform, if non-nil, preprocesses each training partition.
+	Transform TrainTransform
+	// PositiveClass is the concept class index (default 1).
+	PositiveClass int
+}
+
+// FoldResult captures one fold's confusion matrix and model complexity.
+type FoldResult struct {
+	Matrix *ConfusionMatrix
+	Size   int
+}
+
+// CVResult aggregates a k-fold cross-validation in the form reported by
+// Tables III and IV: mean FPR/TPR/AUC across folds, mean model
+// complexity, and the across-fold AUC variance.
+type CVResult struct {
+	Folds []FoldResult
+
+	MeanTPR  float64
+	MeanFPR  float64
+	MeanAUC  float64
+	MeanComp float64
+	VarAUC   float64
+	// Pooled is the confusion matrix summed over all folds.
+	Pooled *ConfusionMatrix
+}
+
+// CrossValidate runs stratified k-fold cross-validation of learner l on
+// dataset d (paper §VII-C: "the data was partitioned into 10 stratified
+// samples; for each cross validation run, one of the partitions was
+// used as the test sample whilst the other nine were used as the
+// training set").
+func CrossValidate(l mining.Learner, d *dataset.Dataset, cfg CVConfig) (*CVResult, error) {
+	if cfg.Folds == 0 {
+		cfg.Folds = 10
+	}
+	if cfg.PositiveClass == 0 {
+		cfg.PositiveClass = PositiveClass
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	folds, err := dataset.StratifiedKFold(d, cfg.Folds, rng)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+
+	res := &CVResult{Pooled: NewConfusionMatrix(d.ClassValues)}
+	var aucW, tprW, fprW, compW stats.Welford
+	for fi, fold := range folds {
+		train := d.Subset(fold.Train)
+		if cfg.Transform != nil {
+			train, err = cfg.Transform(train, rng.Fork())
+			if err != nil {
+				return nil, fmt.Errorf("eval: fold %d transform: %w", fi, err)
+			}
+		}
+		model, err := l.Fit(train)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d fit: %w", fi, err)
+		}
+		cm := NewConfusionMatrix(d.ClassValues)
+		for _, ti := range fold.Test {
+			in := &d.Instances[ti]
+			pred := model.Classify(in.Values)
+			if err := cm.Record(in.Class, pred, in.Weight); err != nil {
+				return nil, fmt.Errorf("eval: fold %d: %w", fi, err)
+			}
+		}
+		size := mining.ModelSize(model)
+		res.Folds = append(res.Folds, FoldResult{Matrix: cm, Size: size})
+		if err := res.Pooled.Merge(cm); err != nil {
+			return nil, err
+		}
+		b := cm.Binary(cfg.PositiveClass)
+		aucW.Add(b.AUC())
+		tprW.Add(b.TPR())
+		fprW.Add(b.FPR())
+		compW.Add(float64(size))
+	}
+	res.MeanAUC = aucW.Mean()
+	res.MeanTPR = tprW.Mean()
+	res.MeanFPR = fprW.Mean()
+	res.MeanComp = compW.Mean()
+	res.VarAUC = aucW.Variance()
+	return res, nil
+}
+
+// Evaluate fits l on train and scores it on test, returning the
+// confusion matrix — the simple holdout path used by examples.
+func Evaluate(l mining.Learner, train, test *dataset.Dataset) (*ConfusionMatrix, error) {
+	model, err := l.Fit(train)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fit: %w", err)
+	}
+	cm := NewConfusionMatrix(test.ClassValues)
+	for i := range test.Instances {
+		in := &test.Instances[i]
+		if err := cm.Record(in.Class, model.Classify(in.Values), in.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return cm, nil
+}

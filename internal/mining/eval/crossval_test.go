@@ -1,0 +1,168 @@
+package eval
+
+import (
+	"errors"
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+// stubLearner memorises nothing: it predicts the training majority.
+type stubLearner struct{ fitCalls *int }
+
+func (s stubLearner) Name() string { return "stub" }
+
+func (s stubLearner) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if s.fitCalls != nil {
+		*s.fitCalls++
+	}
+	return stubClassifier(d.MajorityClass()), nil
+}
+
+type stubClassifier int
+
+func (c stubClassifier) Classify([]float64) int { return int(c) }
+
+// perfectLearner returns a classifier implementing the generating rule.
+type perfectLearner struct{}
+
+func (perfectLearner) Name() string { return "perfect" }
+
+func (perfectLearner) Fit(*dataset.Dataset) (mining.Classifier, error) {
+	return classifierFunc(func(v []float64) int {
+		if v[0] > 0.5 {
+			return 1
+		}
+		return 0
+	}), nil
+}
+
+type classifierFunc func([]float64) int
+
+func (f classifierFunc) Classify(v []float64) int { return f(v) }
+
+func cvDataset(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("cv", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x := rng.Float64()
+		class := 0
+		if x > 0.5 {
+			class = 1
+		}
+		d.MustAdd(dataset.Instance{Values: []float64{x}, Class: class, Weight: 1})
+	}
+	return d
+}
+
+func TestCrossValidatePerfect(t *testing.T) {
+	d := cvDataset(200, 1)
+	res, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanTPR != 1 || res.MeanFPR != 0 || res.MeanAUC != 1 {
+		t.Fatalf("perfect learner: TPR=%v FPR=%v AUC=%v", res.MeanTPR, res.MeanFPR, res.MeanAUC)
+	}
+	if res.VarAUC != 0 {
+		t.Fatalf("perfect learner variance = %v", res.VarAUC)
+	}
+	if len(res.Folds) != 10 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	if res.Pooled.Total() != 200 {
+		t.Fatalf("pooled total = %v", res.Pooled.Total())
+	}
+}
+
+func TestCrossValidateFitsOncePerFold(t *testing.T) {
+	d := cvDataset(100, 2)
+	calls := 0
+	_, err := CrossValidate(stubLearner{fitCalls: &calls}, d, CVConfig{Folds: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Fatalf("fit called %d times, want 5", calls)
+	}
+}
+
+func TestCrossValidateDefaults(t *testing.T) {
+	d := cvDataset(100, 3)
+	res, err := CrossValidate(stubLearner{}, d, CVConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 10 {
+		t.Fatalf("default folds = %d, want 10", len(res.Folds))
+	}
+	// A constant-majority stub is an uninformative classifier: both
+	// rates coincide and the trapezoid AUC sits at 0.5.
+	if res.MeanTPR != res.MeanFPR || res.MeanAUC != 0.5 {
+		t.Fatalf("stub metrics: TPR=%v FPR=%v AUC=%v", res.MeanTPR, res.MeanFPR, res.MeanAUC)
+	}
+}
+
+func TestCrossValidateTransformAppliedToTrainOnly(t *testing.T) {
+	d := cvDataset(100, 4)
+	var trainSizes []int
+	tf := func(train *dataset.Dataset, _ *stats.RNG) (*dataset.Dataset, error) {
+		trainSizes = append(trainSizes, train.Len())
+		// Duplicate the training set; the test partition must stay at
+		// its natural size, keeping the pooled total invariant.
+		out := train.Clone()
+		for i := range train.Instances {
+			out.Instances = append(out.Instances, train.Instances[i].Clone())
+		}
+		return out, nil
+	}
+	res, err := CrossValidate(stubLearner{}, d, CVConfig{Folds: 10, Seed: 1, Transform: tf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trainSizes) != 10 {
+		t.Fatalf("transform called %d times", len(trainSizes))
+	}
+	if res.Pooled.Total() != 100 {
+		t.Fatalf("pooled total = %v, want 100 (transform must not touch test folds)", res.Pooled.Total())
+	}
+}
+
+func TestCrossValidateTransformError(t *testing.T) {
+	d := cvDataset(50, 5)
+	wantErr := errors.New("boom")
+	tf := func(*dataset.Dataset, *stats.RNG) (*dataset.Dataset, error) { return nil, wantErr }
+	if _, err := CrossValidate(stubLearner{}, d, CVConfig{Folds: 5, Transform: tf}); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrossValidateDeterminism(t *testing.T) {
+	d := cvDataset(120, 6)
+	r1, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.MeanAUC != r2.MeanAUC || r1.MeanComp != r2.MeanComp {
+		t.Fatal("same-seed cross-validations differ")
+	}
+}
+
+func TestEvaluateHoldout(t *testing.T) {
+	train := cvDataset(100, 7)
+	test := cvDataset(50, 8)
+	cm, err := Evaluate(perfectLearner{}, train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := cm.Binary(1)
+	if b.TPR() != 1 || b.FPR() != 0 {
+		t.Fatalf("holdout metrics: %+v", b)
+	}
+}

@@ -1,0 +1,162 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edem/internal/stats"
+)
+
+func TestMcNemarIdenticalClassifiers(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 1}
+	preds := []int{0, 1, 1, 1, 0}
+	res, err := McNemar(preds, preds, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlyAWrong != 0 || res.OnlyBWrong != 0 || res.Significant {
+		t.Fatalf("identical classifiers: %+v", res)
+	}
+}
+
+func TestMcNemarOneSidedDominance(t *testing.T) {
+	// B wrong on 30 instances where A is right; A never uniquely wrong.
+	n := 100
+	labels := make([]int, n)
+	predsA := make([]int, n)
+	predsB := make([]int, n)
+	for i := 0; i < n; i++ {
+		labels[i] = 1
+		predsA[i] = 1
+		if i < 30 {
+			predsB[i] = 0
+		} else {
+			predsB[i] = 1
+		}
+	}
+	res, err := McNemar(predsA, predsB, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlyAWrong != 0 || res.OnlyBWrong != 30 {
+		t.Fatalf("counts: %+v", res)
+	}
+	// ((30-1)^2)/30 = 28.03 >> 3.84.
+	if math.Abs(res.Statistic-28.033333333333335) > 1e-9 {
+		t.Errorf("statistic = %v", res.Statistic)
+	}
+	if !res.Significant {
+		t.Error("clear dominance should be significant")
+	}
+}
+
+func TestMcNemarBalancedDisagreement(t *testing.T) {
+	// Equal unique-error counts: no evidence of a difference.
+	labels := make([]int, 40)
+	predsA := make([]int, 40)
+	predsB := make([]int, 40)
+	for i := range labels {
+		labels[i] = 1
+		predsA[i] = 1
+		predsB[i] = 1
+	}
+	for i := 0; i < 10; i++ {
+		predsA[i] = 0 // A uniquely wrong on 0..9
+		predsB[10+i] = 0
+	}
+	res, err := McNemar(predsA, predsB, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant {
+		t.Errorf("balanced disagreement flagged significant: %+v", res)
+	}
+}
+
+func TestMcNemarErrors(t *testing.T) {
+	if _, err := McNemar([]int{0}, []int{0, 1}, []int{0, 1}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := McNemar(nil, nil, nil); err == nil {
+		t.Error("empty input should fail")
+	}
+}
+
+func TestPairedTTestClearDifference(t *testing.T) {
+	a := []float64{0.99, 0.98, 0.99, 0.97, 0.99, 0.98, 0.99, 0.98, 0.99, 0.98}
+	b := []float64{0.90, 0.89, 0.91, 0.88, 0.90, 0.89, 0.91, 0.90, 0.89, 0.90}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 9 {
+		t.Errorf("df = %d", res.DF)
+	}
+	if res.MeanDiff <= 0.07 {
+		t.Errorf("mean diff = %v", res.MeanDiff)
+	}
+	if !res.Significant {
+		t.Error("clear gap should be significant")
+	}
+}
+
+func TestPairedTTestNoise(t *testing.T) {
+	rng := stats.NewRNG(1)
+	a := make([]float64, 10)
+	b := make([]float64, 10)
+	for i := range a {
+		base := 0.9 + 0.01*rng.NormFloat64()
+		a[i] = base + 0.001*rng.NormFloat64()
+		b[i] = base + 0.001*rng.NormFloat64()
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant && math.Abs(res.MeanDiff) < 1e-4 {
+		t.Errorf("noise flagged significant: %+v", res)
+	}
+}
+
+func TestPairedTTestDegenerate(t *testing.T) {
+	// Constant nonzero difference: infinitely significant.
+	a := []float64{0.9, 0.9, 0.9}
+	b := []float64{0.8, 0.8, 0.8}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant || !math.IsInf(res.Statistic, 1) {
+		t.Errorf("constant difference: %+v", res)
+	}
+	// Identical series: not significant.
+	res, err = PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant || res.Statistic != 0 {
+		t.Errorf("identical series: %+v", res)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{1}); err == nil {
+		t.Error("single fold should fail")
+	}
+}
+
+func TestTCritTable(t *testing.T) {
+	if got := tCrit05(9); got != 2.262 {
+		t.Errorf("tCrit05(9) = %v", got)
+	}
+	if got := tCrit05(100); got != 1.96 {
+		t.Errorf("tCrit05(100) = %v", got)
+	}
+	if !math.IsInf(tCrit05(0), 1) {
+		t.Error("df 0 should be infinite")
+	}
+}

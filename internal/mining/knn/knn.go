@@ -1,0 +1,138 @@
+// Package knn implements a k-nearest-neighbour classifier over
+// min-max-normalised Euclidean distance, used as a non-symbolic
+// comparator in the learner-comparison ablation: its decision boundary
+// cannot be extracted as a first-order predicate, which is exactly why
+// the paper restricts detector generation to symbolic learners.
+package knn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+)
+
+// Learner fits k-NN models (lazy: fitting stores the training data and
+// the normalisation ranges).
+type Learner struct {
+	// K is the neighbour count (default 3).
+	K int
+}
+
+var _ mining.Learner = Learner{}
+
+// Name implements mining.Learner.
+func (l Learner) Name() string { return fmt.Sprintf("%d-NN", l.k()) }
+
+func (l Learner) k() int {
+	if l.K <= 0 {
+		return 3
+	}
+	return l.K
+}
+
+// Model is a fitted k-NN classifier.
+type Model struct {
+	k       int
+	attrs   []dataset.Attribute
+	classes int
+	train   []dataset.Instance
+	lo, hi  []float64
+}
+
+var _ mining.Classifier = (*Model)(nil)
+
+// Fit implements mining.Learner.
+func (l Learner) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("knn: empty training set")
+	}
+	cp := d.Clone()
+	lo := make([]float64, len(d.Attrs))
+	hi := make([]float64, len(d.Attrs))
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	for i := range cp.Instances {
+		for a, v := range cp.Instances[i].Values {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if v < lo[a] {
+				lo[a] = v
+			}
+			if v > hi[a] {
+				hi[a] = v
+			}
+		}
+	}
+	return &Model{
+		k:       l.k(),
+		attrs:   d.Attrs,
+		classes: len(d.ClassValues),
+		train:   cp.Instances,
+		lo:      lo,
+		hi:      hi,
+	}, nil
+}
+
+// Classify implements mining.Classifier: weighted vote of the k nearest
+// training instances.
+func (m *Model) Classify(values []float64) int {
+	type cand struct {
+		d float64
+		c int
+		w float64
+	}
+	cands := make([]cand, 0, len(m.train))
+	for i := range m.train {
+		cands = append(cands, cand{
+			d: m.distance(values, m.train[i].Values),
+			c: m.train[i].Class,
+			w: m.train[i].Weight,
+		})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].d < cands[b].d })
+	votes := make([]float64, m.classes)
+	n := m.k
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		votes[cands[i].c] += cands[i].w
+	}
+	best := 0
+	for c := 1; c < len(votes); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+func (m *Model) distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range m.attrs {
+		av, bv := a[i], b[i]
+		if dataset.IsMissing(av) || dataset.IsMissing(bv) {
+			s++
+			continue
+		}
+		if m.attrs[i].Type == dataset.Nominal {
+			if av != bv {
+				s++
+			}
+			continue
+		}
+		span := m.hi[i] - m.lo[i]
+		if span <= 0 {
+			continue
+		}
+		diff := (av - bv) / span
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,105 @@
+package knn
+
+import (
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/stats"
+)
+
+func clusters(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("c", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NumericAttr("y"),
+		dataset.NominalAttr("m", "a", "b"),
+	}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			d.MustAdd(dataset.Instance{
+				Values: []float64{rng.Float64(), rng.Float64(), 0},
+				Class:  0, Weight: 1,
+			})
+		} else {
+			d.MustAdd(dataset.Instance{
+				Values: []float64{5 + rng.Float64(), 5 + rng.Float64(), 1},
+				Class:  1, Weight: 1,
+			})
+		}
+	}
+	return d
+}
+
+func TestKNNSeparatesClusters(t *testing.T) {
+	d := clusters(100, 1)
+	model, err := Learner{K: 3}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := model.Classify([]float64{0.5, 0.5, 0}); got != 0 {
+		t.Errorf("near cluster 0 classified %d", got)
+	}
+	if got := model.Classify([]float64{5.5, 5.5, 1}); got != 1 {
+		t.Errorf("near cluster 1 classified %d", got)
+	}
+}
+
+func TestKNNDefaults(t *testing.T) {
+	if (Learner{}).Name() != "3-NN" {
+		t.Errorf("name = %q", (Learner{}).Name())
+	}
+	if (Learner{K: 7}).Name() != "7-NN" {
+		t.Errorf("name = %q", (Learner{K: 7}).Name())
+	}
+}
+
+func TestKNNEmptyTraining(t *testing.T) {
+	d := dataset.New("e", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b"})
+	if _, err := (Learner{}).Fit(d); err == nil {
+		t.Error("empty training should fail")
+	}
+}
+
+func TestKNNMissingValues(t *testing.T) {
+	d := clusters(60, 2)
+	d.Instances[0].Values[0] = dataset.Missing
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.Classify([]float64{dataset.Missing, 0.5, 0})
+	if got != 0 && got != 1 {
+		t.Fatalf("class = %d", got)
+	}
+}
+
+func TestKNNWeightedVote(t *testing.T) {
+	// Two heavy positives outvote three light negatives among k=5.
+	d := dataset.New("w", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	for i := 0; i < 3; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{float64(i) * 0.01}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < 2; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{0.05 + float64(i)*0.01}, Class: 1, Weight: 10})
+	}
+	model, err := Learner{K: 5}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Classify([]float64{0.02}) != 1 {
+		t.Fatal("weights must drive the vote")
+	}
+}
+
+func TestKNNDoesNotAliasTraining(t *testing.T) {
+	d := clusters(20, 3)
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Instances[0].Values[0] = 1e9 // mutate the original
+	m := model.(*Model)
+	if m.train[0].Values[0] == 1e9 {
+		t.Fatal("model aliases the training dataset")
+	}
+}

@@ -1,0 +1,242 @@
+// Package logreg implements binary logistic regression trained by
+// gradient descent — one of the non-symbolic learners the paper
+// discusses (§IV, §V-C). Like Naïve Bayes it benefits from the signed
+// logarithmic attribute mapping on fault-injection data, where raw
+// bit-flip magnitudes span hundreds of orders of magnitude.
+package logreg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+// Learner fits logistic regression models. The zero value uses sensible
+// defaults (200 epochs, learning rate 0.1, L2 1e-4, log mapping on).
+type Learner struct {
+	// Epochs is the number of full gradient passes (default 200).
+	Epochs int
+	// LearningRate is the gradient step size (default 0.1).
+	LearningRate float64
+	// L2 is the ridge penalty (default 1e-4).
+	L2 float64
+	// NoLogMap disables the signed log attribute mapping.
+	NoLogMap bool
+	// PositiveClass is the class index modelled as y=1 (default 1).
+	PositiveClass int
+}
+
+var _ mining.Learner = Learner{}
+
+// Name implements mining.Learner.
+func (l Learner) Name() string {
+	if l.NoLogMap {
+		return "LogisticRegression"
+	}
+	return "LogisticRegression+logmap"
+}
+
+func (l Learner) epochs() int {
+	if l.Epochs <= 0 {
+		return 200
+	}
+	return l.Epochs
+}
+
+func (l Learner) learningRate() float64 {
+	if l.LearningRate <= 0 {
+		return 0.1
+	}
+	return l.LearningRate
+}
+
+func (l Learner) l2() float64 {
+	if l.L2 < 0 {
+		return 0
+	}
+	if l.L2 == 0 {
+		return 1e-4
+	}
+	return l.L2
+}
+
+func (l Learner) positiveClass() int {
+	if l.PositiveClass == 0 {
+		return 1
+	}
+	return l.PositiveClass
+}
+
+// ErrNotBinary is returned for datasets without exactly two classes.
+var ErrNotBinary = errors.New("logreg: logistic regression requires a binary class")
+
+// Model is a fitted logistic regression classifier.
+type Model struct {
+	weights  []float64 // one per attribute
+	bias     float64
+	mean     []float64 // feature standardisation
+	scale    []float64
+	logMap   bool
+	posClass int
+	negClass int
+	attrs    []dataset.Attribute
+}
+
+var (
+	_ mining.Classifier  = (*Model)(nil)
+	_ mining.Distributor = (*Model)(nil)
+)
+
+// Fit implements mining.Learner.
+func (l Learner) Fit(d *dataset.Dataset) (mining.Classifier, error) {
+	if len(d.ClassValues) != 2 {
+		return nil, fmt.Errorf("%w: got %d classes", ErrNotBinary, len(d.ClassValues))
+	}
+	if d.Len() == 0 {
+		return nil, errors.New("logreg: empty training set")
+	}
+	for _, a := range d.Attrs {
+		if a.Type != dataset.Numeric {
+			return nil, fmt.Errorf("logreg: attribute %q is nominal; encode it numerically first", a.Name)
+		}
+	}
+	pos := l.positiveClass()
+	neg := 1 - pos
+
+	n := d.Len()
+	nAttr := len(d.Attrs)
+
+	// Feature matrix with optional log mapping, then standardisation.
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range d.Instances {
+		in := &d.Instances[i]
+		row := make([]float64, nAttr)
+		for a, v := range in.Values {
+			if dataset.IsMissing(v) {
+				v = 0
+			} else if !l.NoLogMap {
+				v = stats.SignedLog(v)
+			}
+			row[a] = v
+		}
+		x[i] = row
+		if in.Class == pos {
+			y[i] = 1
+		}
+		w[i] = in.Weight
+		if w[i] <= 0 {
+			w[i] = 1
+		}
+	}
+	mean := make([]float64, nAttr)
+	scale := make([]float64, nAttr)
+	for a := 0; a < nAttr; a++ {
+		var wf stats.Welford
+		for i := range x {
+			wf.Add(x[i][a])
+		}
+		mean[a] = wf.Mean()
+		sd := wf.StdDev()
+		if sd < 1e-12 {
+			sd = 1
+		}
+		scale[a] = sd
+		for i := range x {
+			x[i][a] = (x[i][a] - mean[a]) / sd
+		}
+	}
+
+	weights := make([]float64, nAttr)
+	bias := 0.0
+	lr := l.learningRate()
+	lambda := l.l2()
+	totalW := 0.0
+	for _, wi := range w {
+		totalW += wi
+	}
+	for epoch := 0; epoch < l.epochs(); epoch++ {
+		gradW := make([]float64, nAttr)
+		gradB := 0.0
+		for i := range x {
+			p := sigmoid(dot(weights, x[i]) + bias)
+			err := (p - y[i]) * w[i]
+			for a := 0; a < nAttr; a++ {
+				gradW[a] += err * x[i][a]
+			}
+			gradB += err
+		}
+		for a := 0; a < nAttr; a++ {
+			weights[a] -= lr * (gradW[a]/totalW + lambda*weights[a])
+		}
+		bias -= lr * gradB / totalW
+	}
+
+	return &Model{
+		weights:  weights,
+		bias:     bias,
+		mean:     mean,
+		scale:    scale,
+		logMap:   !l.NoLogMap,
+		posClass: pos,
+		negClass: neg,
+		attrs:    d.Attrs,
+	}, nil
+}
+
+// Score returns P(positive class | values).
+func (m *Model) Score(values []float64) float64 {
+	z := m.bias
+	for a, wa := range m.weights {
+		v := 0.0
+		if a < len(values) {
+			v = values[a]
+		}
+		if dataset.IsMissing(v) {
+			v = 0
+		} else if m.logMap {
+			v = stats.SignedLog(v)
+		}
+		z += wa * (v - m.mean[a]) / m.scale[a]
+	}
+	return sigmoid(z)
+}
+
+// Classify implements mining.Classifier.
+func (m *Model) Classify(values []float64) int {
+	if m.Score(values) >= 0.5 {
+		return m.posClass
+	}
+	return m.negClass
+}
+
+// Distribution implements mining.Distributor.
+func (m *Model) Distribution(values []float64) []float64 {
+	p := m.Score(values)
+	dist := make([]float64, 2)
+	dist[m.posClass] = p
+	dist[m.negClass] = 1 - p
+	return dist
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package logreg
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining"
+	"edem/internal/stats"
+)
+
+func linearlySeparable(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("lin", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NumericAttr("y"),
+	}, []string{"neg", "pos"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64()*2-1, rng.Float64()*2-1
+		class := 0
+		if x+y > 0.2 {
+			class = 1
+		}
+		d.MustAdd(dataset.Instance{Values: []float64{x, y}, Class: class, Weight: 1})
+	}
+	return d
+}
+
+func accuracy(c mining.Classifier, d *dataset.Dataset) float64 {
+	correct := 0
+	for i := range d.Instances {
+		if c.Classify(d.Instances[i].Values) == d.Instances[i].Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+func TestLogRegSeparable(t *testing.T) {
+	d := linearlySeparable(500, 1)
+	model, err := Learner{NoLogMap: true}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, d); acc < 0.97 {
+		t.Errorf("accuracy = %.3f", acc)
+	}
+}
+
+func TestLogRegScoresAreProbabilities(t *testing.T) {
+	d := linearlySeparable(300, 2)
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.(*Model)
+	for i := 0; i < 50; i++ {
+		p := m.Score(d.Instances[i].Values)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("score = %v", p)
+		}
+		dist := m.Distribution(d.Instances[i].Values)
+		if math.Abs(dist[0]+dist[1]-1) > 1e-12 {
+			t.Fatalf("distribution sums to %v", dist[0]+dist[1])
+		}
+	}
+}
+
+func TestLogRegLogMapExtremes(t *testing.T) {
+	// Bit-flip magnitudes: the log mapping keeps training stable where
+	// raw features would overflow the linear score.
+	d := dataset.New("x", []dataset.Attribute{dataset.NumericAttr("v")}, []string{"neg", "pos"})
+	rng := stats.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{rng.Float64() * 1000}, Class: 0, Weight: 1})
+	}
+	for i := 0; i < 50; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{1e200 * (1 + rng.Float64())}, Class: 1, Weight: 1})
+	}
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, d); acc < 0.99 {
+		t.Errorf("logmap accuracy = %.3f", acc)
+	}
+	if got := model.Classify([]float64{1e250}); got != 1 {
+		t.Errorf("extreme magnitude classified %d", got)
+	}
+}
+
+func TestLogRegRejectsNonBinary(t *testing.T) {
+	d := dataset.New("m", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b", "c"})
+	d.MustAdd(dataset.Instance{Values: []float64{1}, Class: 0, Weight: 1})
+	if _, err := (Learner{}).Fit(d); !errors.Is(err, ErrNotBinary) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLogRegRejectsNominal(t *testing.T) {
+	d := dataset.New("m", []dataset.Attribute{dataset.NominalAttr("c", "u", "v")}, []string{"a", "b"})
+	d.MustAdd(dataset.Instance{Values: []float64{0}, Class: 0, Weight: 1})
+	if _, err := (Learner{}).Fit(d); err == nil {
+		t.Fatal("nominal attribute should be rejected")
+	}
+}
+
+func TestLogRegEmpty(t *testing.T) {
+	d := dataset.New("e", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"a", "b"})
+	if _, err := (Learner{}).Fit(d); err == nil {
+		t.Fatal("empty training should fail")
+	}
+}
+
+func TestLogRegMissingValues(t *testing.T) {
+	d := linearlySeparable(200, 5)
+	d.Instances[0].Values[0] = dataset.Missing
+	model, err := Learner{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := model.Classify([]float64{dataset.Missing, 0.9})
+	if got != 0 && got != 1 {
+		t.Fatalf("class = %d", got)
+	}
+}
+
+func TestLogRegWeighted(t *testing.T) {
+	// All mass on the positive side shifts the decision boundary.
+	d := dataset.New("w", []dataset.Attribute{dataset.NumericAttr("x")}, []string{"neg", "pos"})
+	for i := 0; i < 20; i++ {
+		d.MustAdd(dataset.Instance{Values: []float64{-0.1}, Class: 0, Weight: 1})
+		d.MustAdd(dataset.Instance{Values: []float64{0.1}, Class: 1, Weight: 50})
+	}
+	model, err := Learner{NoLogMap: true}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heavily weighted positives pull the boundary below 0.
+	if model.Classify([]float64{0.0}) != 1 {
+		t.Error("weights should bias the boundary")
+	}
+}
+
+func TestLogRegNames(t *testing.T) {
+	if (Learner{}).Name() != "LogisticRegression+logmap" {
+		t.Error("default name")
+	}
+	if (Learner{NoLogMap: true}).Name() != "LogisticRegression" {
+		t.Error("raw name")
+	}
+}

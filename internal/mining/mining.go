@@ -1,0 +1,51 @@
+// Package mining defines the interfaces shared by the data-mining
+// algorithms of the suite (the Weka-analog of paper §VII-B): learners
+// that fit classifiers to datasets, and classifiers that label instances.
+//
+// Concrete algorithms live in subpackages: tree (C4.5 decision tree
+// induction), bayes (Naïve Bayes), rules (ZeroR, OneR, PRISM), knn
+// (k-nearest neighbours); eval provides confusion-matrix metrics and
+// stratified cross-validation; sampling provides SMOTE and random
+// over/undersampling for class-imbalance handling.
+package mining
+
+import "edem/internal/dataset"
+
+// Classifier labels instances. Values follow the dataset convention:
+// one float64 per attribute (nominal values as domain indices, NaN for
+// missing); the returned label is a class index.
+type Classifier interface {
+	Classify(values []float64) int
+}
+
+// Distributor is an optional Classifier refinement that exposes a class
+// probability distribution, enabling threshold-based ROC analysis.
+type Distributor interface {
+	// Distribution returns per-class scores summing to 1.
+	Distribution(values []float64) []float64
+}
+
+// Sizer is an optional Classifier refinement reporting model complexity
+// (the Comp column of Tables III/IV: node count for decision trees, rule
+// count for rule sets).
+type Sizer interface {
+	Size() int
+}
+
+// Learner fits a classifier to a training set.
+type Learner interface {
+	// Name identifies the algorithm (e.g. "C4.5").
+	Name() string
+	// Fit trains on d and returns the learnt model. Implementations
+	// must not retain or mutate d.
+	Fit(d *dataset.Dataset) (Classifier, error)
+}
+
+// ModelSize returns the complexity of a classifier, or 1 if the model
+// does not report one (e.g. ZeroR).
+func ModelSize(c Classifier) int {
+	if s, ok := c.(Sizer); ok {
+		return s.Size()
+	}
+	return 1
+}

@@ -1,0 +1,21 @@
+package mining
+
+import "testing"
+
+type plain struct{}
+
+func (plain) Classify([]float64) int { return 0 }
+
+type sized struct{ n int }
+
+func (s sized) Classify([]float64) int { return 0 }
+func (s sized) Size() int              { return s.n }
+
+func TestModelSize(t *testing.T) {
+	if got := ModelSize(plain{}); got != 1 {
+		t.Errorf("plain model size = %d, want 1", got)
+	}
+	if got := ModelSize(sized{n: 42}); got != 42 {
+		t.Errorf("sized model size = %d, want 42", got)
+	}
+}

@@ -1,0 +1,70 @@
+package sampling
+
+import (
+	"fmt"
+
+	"edem/internal/dataset"
+	"edem/internal/stats"
+)
+
+// NeighborIndex caches the k-nearest-neighbour lists of a dataset's
+// minority class so a refinement grid can evaluate many SMOTE
+// configurations (different percentages and neighbour counts) against
+// one training partition without recomputing the O(m²) neighbour
+// search per configuration.
+type NeighborIndex struct {
+	d      *dataset.Dataset
+	class  int
+	minIdx []int
+	lists  [][]int
+	maxK   int
+}
+
+// BuildNeighborIndex computes up to maxK nearest minority neighbours
+// for every minority instance of d.
+func BuildNeighborIndex(d *dataset.Dataset, minorityClass, maxK int) (*NeighborIndex, error) {
+	if maxK < 1 {
+		return nil, ErrBadK
+	}
+	if minorityClass < 0 || minorityClass >= len(d.ClassValues) {
+		return nil, fmt.Errorf("sampling: class %d out of range", minorityClass)
+	}
+	var minIdx []int
+	for i := range d.Instances {
+		if d.Instances[i].Class == minorityClass {
+			minIdx = append(minIdx, i)
+		}
+	}
+	if len(minIdx) == 0 {
+		return nil, ErrNoMinority
+	}
+	var lists [][]int
+	if len(minIdx) > 1 {
+		lists = nearestNeighbors(d, minIdx, maxK)
+	} else {
+		lists = make([][]int, 1)
+	}
+	return &NeighborIndex{d: d, class: minorityClass, minIdx: minIdx, lists: lists, maxK: maxK}, nil
+}
+
+// SMOTE generates percent% synthetic minority instances using the first
+// k cached neighbours of each seed. k must not exceed the index's maxK.
+func (ni *NeighborIndex) SMOTE(percent float64, k int, rng *stats.RNG) (*dataset.Dataset, error) {
+	if k < 1 || k > ni.maxK {
+		return nil, fmt.Errorf("%w: k=%d (index holds %d)", ErrBadK, k, ni.maxK)
+	}
+	trunc := make([][]int, len(ni.lists))
+	for i, l := range ni.lists {
+		if len(l) > k {
+			l = l[:k]
+		}
+		trunc[i] = l
+	}
+	return smoteWith(ni.d, ni.class, ni.minIdx, trunc, percent, rng, false)
+}
+
+// Oversample generates percent% minority copies with replacement (the
+// q=0 special case), using the cached minority indices.
+func (ni *NeighborIndex) Oversample(percent float64, rng *stats.RNG) (*dataset.Dataset, error) {
+	return smoteWith(ni.d, ni.class, ni.minIdx, nil, percent, rng, true)
+}

@@ -1,0 +1,337 @@
+package tree
+
+import (
+	"math"
+	"sort"
+
+	"edem/internal/dataset"
+)
+
+// The fast induction path applies when the training data has no missing
+// values: attribute columns are sorted once and the sort order is
+// preserved through partitioning, removing the per-node sort that
+// dominates induction cost on large fault-injection datasets. Datasets
+// with missing values fall back to the general builder, which handles
+// fractional instance weights.
+
+// hasMissing reports whether any instance value is missing.
+func hasMissing(d *dataset.Dataset) bool {
+	for i := range d.Instances {
+		for _, v := range d.Instances[i].Values {
+			if dataset.IsMissing(v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type fastBuilder struct {
+	cfg      Config
+	d        *dataset.Dataset
+	cols     [][]float64 // column-major attribute values [attr][row]
+	classes  []int
+	weights  []float64
+	nClasses int
+}
+
+// fastNode is the per-node view: row ids, plus per-numeric-attribute row
+// ids in ascending value order.
+type fastNode struct {
+	rows   []int32
+	sorted [][]int32 // indexed by attr; nil for nominal attributes
+}
+
+func newFastBuilder(cfg Config, d *dataset.Dataset) *fastBuilder {
+	n := d.Len()
+	fb := &fastBuilder{
+		cfg:      cfg,
+		d:        d,
+		cols:     make([][]float64, len(d.Attrs)),
+		classes:  make([]int, n),
+		weights:  make([]float64, n),
+		nClasses: len(d.ClassValues),
+	}
+	for a := range d.Attrs {
+		col := make([]float64, n)
+		for i := range d.Instances {
+			col[i] = d.Instances[i].Values[a]
+		}
+		fb.cols[a] = col
+	}
+	for i := range d.Instances {
+		fb.classes[i] = d.Instances[i].Class
+		w := d.Instances[i].Weight
+		if w <= 0 {
+			w = 1
+		}
+		fb.weights[i] = w
+	}
+	return fb
+}
+
+func (fb *fastBuilder) rootNode() *fastNode {
+	n := len(fb.classes)
+	rows := make([]int32, n)
+	for i := range rows {
+		rows[i] = int32(i)
+	}
+	nd := &fastNode{rows: rows, sorted: make([][]int32, len(fb.d.Attrs))}
+	for a := range fb.d.Attrs {
+		if fb.d.Attrs[a].Type != dataset.Numeric {
+			continue
+		}
+		idx := make([]int32, n)
+		copy(idx, rows)
+		col := fb.cols[a]
+		sort.Slice(idx, func(i, j int) bool { return col[idx[i]] < col[idx[j]] })
+		nd.sorted[a] = idx
+	}
+	return nd
+}
+
+func (fb *fastBuilder) distribution(rows []int32) []float64 {
+	dist := make([]float64, fb.nClasses)
+	for _, r := range rows {
+		dist[fb.classes[r]] += fb.weights[r]
+	}
+	return dist
+}
+
+func (fb *fastBuilder) build(nd *fastNode, depthSoFar int) *Node {
+	dist := fb.distribution(nd.rows)
+	node := &Node{Attr: -1, Dist: dist, Class: argmax(dist)}
+
+	totalW := sum(dist)
+	if totalW < 2*fb.cfg.minLeaf() || isPure(dist) {
+		return node
+	}
+	if fb.cfg.MaxDepth > 0 && depthSoFar >= fb.cfg.MaxDepth {
+		return node
+	}
+
+	best := fb.bestSplit(nd, dist, totalW)
+	if best == nil {
+		return node
+	}
+
+	children := fb.partition(nd, best)
+	strong := 0
+	for _, ch := range children {
+		if fb.weightOfRows(ch.rows) >= fb.cfg.minLeaf() {
+			strong++
+		}
+	}
+	if strong < 2 {
+		return node
+	}
+
+	node.Attr = best.attr
+	node.Threshold = best.threshold
+	node.Children = make([]*Node, len(children))
+	for i, ch := range children {
+		if len(ch.rows) == 0 {
+			node.Children[i] = &Node{Attr: -1, Dist: make([]float64, fb.nClasses), Class: node.Class}
+			continue
+		}
+		node.Children[i] = fb.build(ch, depthSoFar+1)
+	}
+	return node
+}
+
+func (fb *fastBuilder) weightOfRows(rows []int32) float64 {
+	w := 0.0
+	for _, r := range rows {
+		w += fb.weights[r]
+	}
+	return w
+}
+
+func (fb *fastBuilder) bestSplit(nd *fastNode, dist []float64, totalW float64) *split {
+	candidates := make([]*split, 0, len(fb.d.Attrs))
+	for a := range fb.d.Attrs {
+		var s *split
+		if fb.d.Attrs[a].Type == dataset.Numeric {
+			s = fb.numericSplit(nd.sorted[a], a, dist, totalW)
+		} else {
+			s = fb.nominalSplit(nd.rows, a, dist, totalW)
+		}
+		if s != nil && s.gain > 1e-12 {
+			candidates = append(candidates, s)
+		}
+	}
+	return selectSplit(candidates, fb.cfg.PlainGain)
+}
+
+// numericSplit scans the pre-sorted rows of a numeric attribute.
+func (fb *fastBuilder) numericSplit(sorted []int32, attr int, dist []float64, totalW float64) *split {
+	if len(sorted) < 2 {
+		return nil
+	}
+	col := fb.cols[attr]
+	baseEntropy := entropy(dist)
+
+	left := make([]float64, fb.nClasses)
+	right := make([]float64, fb.nClasses)
+	copy(right, dist)
+
+	var (
+		bestGain   = -1.0
+		bestThresh float64
+		bestLeftW  float64
+		distinct   = 1
+		leftW      = 0.0
+	)
+	for i := 0; i < len(sorted)-1; i++ {
+		r := sorted[i]
+		w := fb.weights[r]
+		c := fb.classes[r]
+		left[c] += w
+		right[c] -= w
+		leftW += w
+		if col[r] == col[sorted[i+1]] {
+			continue
+		}
+		distinct++
+		if leftW < fb.cfg.minLeaf() || totalW-leftW < fb.cfg.minLeaf() {
+			continue
+		}
+		childEntropy := (leftW*entropy(left) + (totalW-leftW)*entropy(right)) / totalW
+		gain := baseEntropy - childEntropy
+		if gain > bestGain {
+			bestGain = gain
+			bestThresh = col[r]
+			bestLeftW = leftW
+		}
+	}
+	if bestGain < 0 {
+		return nil
+	}
+	gain := bestGain
+	if !fb.cfg.NoMDLPenalty && distinct > 1 {
+		gain -= math.Log2(float64(distinct-1)) / totalW
+	}
+	if gain <= 0 {
+		return nil
+	}
+	si := splitInfo([]float64{bestLeftW, totalW - bestLeftW}, totalW)
+	gr := gain
+	if si > 1e-12 {
+		gr = gain / si
+	}
+	return &split{attr: attr, threshold: bestThresh, gain: gain, gainRatio: gr}
+}
+
+func (fb *fastBuilder) nominalSplit(rows []int32, attr int, dist []float64, totalW float64) *split {
+	nVals := len(fb.d.Attrs[attr].Values)
+	if nVals < 2 {
+		return nil
+	}
+	branch := make([][]float64, nVals)
+	for i := range branch {
+		branch[i] = make([]float64, fb.nClasses)
+	}
+	col := fb.cols[attr]
+	for _, r := range rows {
+		branch[int(col[r])][fb.classes[r]] += fb.weights[r]
+	}
+	nonEmpty := 0
+	childEntropy := 0.0
+	branchW := make([]float64, 0, nVals)
+	for _, bd := range branch {
+		w := sum(bd)
+		branchW = append(branchW, w)
+		if w > 0 {
+			nonEmpty++
+			childEntropy += w * entropy(bd)
+		}
+	}
+	if nonEmpty < 2 {
+		return nil
+	}
+	childEntropy /= totalW
+	gain := entropy(dist) - childEntropy
+	if gain <= 0 {
+		return nil
+	}
+	si := splitInfo(branchW, totalW)
+	gr := gain
+	if si > 1e-12 {
+		gr = gain / si
+	}
+	return &split{attr: attr, gain: gain, gainRatio: gr}
+}
+
+// partition splits the node preserving every attribute's sort order.
+func (fb *fastBuilder) partition(nd *fastNode, s *split) []*fastNode {
+	numeric := fb.d.Attrs[s.attr].Type == dataset.Numeric
+	nBranches := 2
+	if !numeric {
+		nBranches = len(fb.d.Attrs[s.attr].Values)
+	}
+	col := fb.cols[s.attr]
+	branchOf := func(r int32) int {
+		if numeric {
+			if col[r] <= s.threshold {
+				return 0
+			}
+			return 1
+		}
+		return int(col[r])
+	}
+
+	children := make([]*fastNode, nBranches)
+	for b := range children {
+		children[b] = &fastNode{sorted: make([][]int32, len(fb.d.Attrs))}
+	}
+	for _, r := range nd.rows {
+		b := branchOf(r)
+		children[b].rows = append(children[b].rows, r)
+	}
+	for a := range fb.d.Attrs {
+		if nd.sorted[a] == nil {
+			continue
+		}
+		for _, r := range nd.sorted[a] {
+			b := branchOf(r)
+			children[b].sorted[a] = append(children[b].sorted[a], r)
+		}
+	}
+	return children
+}
+
+// selectSplit applies C4.5's rule: among candidates whose gain is at
+// least the average gain, pick the best gain ratio (or plain gain).
+func selectSplit(candidates []*split, plainGain bool) *split {
+	if len(candidates) == 0 {
+		return nil
+	}
+	avgGain := 0.0
+	for _, s := range candidates {
+		avgGain += s.gain
+	}
+	avgGain /= float64(len(candidates))
+
+	var best *split
+	for _, s := range candidates {
+		if s.gain+1e-12 < avgGain {
+			continue
+		}
+		score := s.gainRatio
+		if plainGain {
+			score = s.gain
+		}
+		if best == nil {
+			best = s
+			continue
+		}
+		bestScore := best.gainRatio
+		if plainGain {
+			bestScore = best.gain
+		}
+		if score > bestScore || (score == bestScore && s.attr < best.attr) {
+			best = s
+		}
+	}
+	return best
+}

@@ -1,0 +1,75 @@
+package predicate
+
+import (
+	"edem/internal/propane"
+)
+
+// Detector is an error detection mechanism: a predicate installed as a
+// runtime assertion at a program location (paper §VII-D: "a cross
+// validation for each model had its predicate implemented as a runtime
+// assertion in its corresponding code location"). It observes the
+// instrumented variables at every activation of its location and raises
+// an alarm whenever the predicate flags the state as failure-inducing.
+type Detector struct {
+	// Module and Location identify the code location the detector
+	// guards; they must match the sampling location of the campaign the
+	// predicate was learnt from.
+	Module   string
+	Location propane.Location
+	// Pred is the detection predicate.
+	Pred *Predicate
+	// GuardActivations, when non-empty, restricts evaluation to these
+	// 1-based activation indices — the activations whose states the
+	// predicate was trained on. Other visits are counted but not
+	// asserted.
+	GuardActivations []int
+
+	// Visits counts location activations observed.
+	Visits int
+	// Alarms records the activation indices (1-based) at which the
+	// predicate flagged the state.
+	Alarms []int
+}
+
+var _ propane.Probe = (*Detector)(nil)
+
+// NewDetector installs pred at the given location.
+func NewDetector(module string, loc propane.Location, pred *Predicate) *Detector {
+	return &Detector{Module: module, Location: loc, Pred: pred}
+}
+
+// Visit implements propane.Probe.
+func (d *Detector) Visit(module string, loc propane.Location, vars []propane.VarRef) {
+	if module != d.Module || loc != d.Location {
+		return
+	}
+	d.Visits++
+	if len(d.GuardActivations) > 0 {
+		guarded := false
+		for _, a := range d.GuardActivations {
+			if a == d.Visits {
+				guarded = true
+				break
+			}
+		}
+		if !guarded {
+			return
+		}
+	}
+	state := make([]float64, len(vars))
+	for i, v := range vars {
+		state[i] = v.Read()
+	}
+	if d.Pred.Eval(state) {
+		d.Alarms = append(d.Alarms, d.Visits)
+	}
+}
+
+// Triggered reports whether the detector raised at least one alarm.
+func (d *Detector) Triggered() bool { return len(d.Alarms) > 0 }
+
+// Reset clears the detector's counters for reuse across runs.
+func (d *Detector) Reset() {
+	d.Visits = 0
+	d.Alarms = nil
+}

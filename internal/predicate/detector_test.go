@@ -1,0 +1,90 @@
+package predicate
+
+import (
+	"testing"
+
+	"edem/internal/propane"
+)
+
+func TestDetectorFlagsCorruptState(t *testing.T) {
+	pred := &Predicate{
+		Name: "d",
+		Vars: []string{"v"},
+		Clauses: []Clause{
+			{{Var: "v", Index: 0, Op: GT, Threshold: 100}},
+		},
+	}
+	det := NewDetector("M", propane.Exit, pred)
+
+	v := 5.0
+	vars := []propane.VarRef{propane.Float64Ref("v", &v)}
+
+	det.Visit("M", propane.Exit, vars) // healthy
+	v = 500
+	det.Visit("M", propane.Exit, vars) // corrupt
+	v = 50
+	det.Visit("M", propane.Exit, vars) // healthy again
+
+	if det.Visits != 3 {
+		t.Fatalf("visits = %d", det.Visits)
+	}
+	if !det.Triggered() || len(det.Alarms) != 1 || det.Alarms[0] != 2 {
+		t.Fatalf("alarms = %v", det.Alarms)
+	}
+}
+
+func TestDetectorIgnoresOtherLocations(t *testing.T) {
+	pred := &Predicate{Clauses: []Clause{{{Index: 0, Op: GT, Threshold: 0}}}}
+	det := NewDetector("M", propane.Exit, pred)
+	v := 5.0
+	vars := []propane.VarRef{propane.Float64Ref("v", &v)}
+	det.Visit("M", propane.Entry, vars)
+	det.Visit("Other", propane.Exit, vars)
+	if det.Visits != 0 || det.Triggered() {
+		t.Fatalf("detector observed foreign locations: %+v", det)
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	pred := &Predicate{Clauses: []Clause{{{Index: 0, Op: GT, Threshold: 0}}}}
+	det := NewDetector("M", propane.Exit, pred)
+	v := 5.0
+	det.Visit("M", propane.Exit, []propane.VarRef{propane.Float64Ref("v", &v)})
+	if !det.Triggered() {
+		t.Fatal("should trigger")
+	}
+	det.Reset()
+	if det.Visits != 0 || det.Triggered() {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+func TestDetectorInChain(t *testing.T) {
+	// A detector composes with other probes via propane.Chain.
+	pred := &Predicate{Clauses: []Clause{{{Index: 0, Op: GT, Threshold: 10}}}}
+	det := NewDetector("M", propane.Exit, pred)
+	v := 50.0
+	vars := []propane.VarRef{propane.Float64Ref("v", &v)}
+	chain := propane.Chain(propane.NopProbe{}, det)
+	chain.Visit("M", propane.Exit, vars)
+	if !det.Triggered() {
+		t.Fatal("chained detector did not observe the visit")
+	}
+}
+
+func TestDetectorGuardActivations(t *testing.T) {
+	pred := &Predicate{Clauses: []Clause{{{Index: 0, Op: GT, Threshold: 0}}}}
+	det := NewDetector("M", propane.Exit, pred)
+	det.GuardActivations = []int{2}
+	v := 5.0 // always above threshold
+	vars := []propane.VarRef{propane.Float64Ref("v", &v)}
+	det.Visit("M", propane.Exit, vars) // activation 1: not guarded
+	det.Visit("M", propane.Exit, vars) // activation 2: guarded
+	det.Visit("M", propane.Exit, vars) // activation 3: not guarded
+	if det.Visits != 3 {
+		t.Fatalf("visits = %d", det.Visits)
+	}
+	if len(det.Alarms) != 1 || det.Alarms[0] != 2 {
+		t.Fatalf("alarms = %v, want [2]", det.Alarms)
+	}
+}

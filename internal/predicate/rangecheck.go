@@ -1,0 +1,55 @@
+package predicate
+
+import (
+	"errors"
+	"math"
+
+	"edem/internal/propane"
+)
+
+// RangeCheck builds the classical executable-assertion baseline the
+// paper contrasts its methodology with (§II-A, Hiller [6]): flag a
+// state as erroneous when any variable leaves its golden-run range,
+// widened by slack (a fraction of the observed span) to absorb workload
+// variation the golden profile did not cover.
+//
+// The result is an ordinary Predicate — one clause per bound — so the
+// baseline plugs into the same deployment and validation machinery as
+// the learnt detectors.
+func RangeCheck(profiles []propane.VarProfile, slack float64, name string) (*Predicate, error) {
+	if len(profiles) == 0 {
+		return nil, errors.New("predicate: no variable profiles")
+	}
+	if slack < 0 {
+		return nil, errors.New("predicate: negative slack")
+	}
+	p := &Predicate{Name: name}
+	for i, prof := range profiles {
+		p.Vars = append(p.Vars, prof.Var)
+		if prof.Samples == 0 || math.IsInf(prof.Min, 1) {
+			continue // never observed: no constraint
+		}
+		span := prof.Max - prof.Min
+		pad := span * slack
+		if span == 0 {
+			// Constant variable: allow a relative pad around the value.
+			pad = math.Abs(prof.Max) * slack
+		}
+		lo := prof.Min - pad
+		hi := prof.Max + pad
+		// value < lo  ==  NOT(value > lo-) — expressed with the atom set
+		// available: flag when value <= lo-epsilon or value > hi.
+		p.Clauses = append(p.Clauses,
+			Clause{{Var: prof.Var, Index: i, Op: GT, Threshold: hi}},
+		)
+		if !math.IsInf(lo, -1) {
+			p.Clauses = append(p.Clauses,
+				Clause{{Var: prof.Var, Index: i, Op: LE, Threshold: lo}},
+			)
+		}
+	}
+	if len(p.Clauses) == 0 {
+		return nil, errors.New("predicate: profiles yielded no constraints")
+	}
+	return p, nil
+}

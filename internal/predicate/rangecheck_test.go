@@ -1,0 +1,53 @@
+package predicate
+
+import (
+	"testing"
+
+	"edem/internal/propane"
+)
+
+func TestRangeCheck(t *testing.T) {
+	profiles := []propane.VarProfile{
+		{Var: "a", Min: 0, Max: 10, Samples: 100},
+		{Var: "b", Min: 5, Max: 5, Samples: 100}, // constant
+	}
+	pred, err := RangeCheck(profiles, 0.1, "ea")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside both ranges: silent.
+	if pred.Eval([]float64{5, 5}) {
+		t.Error("healthy state flagged")
+	}
+	// Slack tolerated: span 10, pad 1.
+	if pred.Eval([]float64{10.5, 5}) {
+		t.Error("within-slack state flagged")
+	}
+	// Outside: flagged.
+	if !pred.Eval([]float64{12, 5}) {
+		t.Error("high excursion missed")
+	}
+	if !pred.Eval([]float64{-2, 5}) {
+		t.Error("low excursion missed")
+	}
+	// Constant variable with relative pad: 5 +- 0.5.
+	if !pred.Eval([]float64{5, 6}) {
+		t.Error("constant-variable excursion missed")
+	}
+	if pred.Eval([]float64{5, 5.3}) {
+		t.Error("constant-variable within-pad flagged")
+	}
+}
+
+func TestRangeCheckErrors(t *testing.T) {
+	if _, err := RangeCheck(nil, 0.1, "e"); err == nil {
+		t.Error("empty profiles should fail")
+	}
+	if _, err := RangeCheck([]propane.VarProfile{{Var: "a"}}, -1, "e"); err == nil {
+		t.Error("negative slack should fail")
+	}
+	// All-unobserved profiles yield no constraints.
+	if _, err := RangeCheck([]propane.VarProfile{{Var: "a", Samples: 0}}, 0.1, "e"); err == nil {
+		t.Error("unobserved profiles should fail")
+	}
+}

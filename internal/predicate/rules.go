@@ -1,0 +1,61 @@
+package predicate
+
+import (
+	"errors"
+	"fmt"
+
+	"edem/internal/mining/rules"
+)
+
+// Rule-induction predicates: the paper's Step 2 allows "a symbolic
+// pattern learning algorithm, such as decision tree induction or rule
+// induction" (§V-C). A PRISM rule set whose rules all predict the
+// failure class converts directly into a DNF detection predicate — each
+// rule is one conjunctive clause.
+
+// ErrUnsoundRuleSet reports a rule set whose list semantics cannot be
+// flattened into an order-free disjunction.
+var ErrUnsoundRuleSet = errors.New("predicate: rule set is not a pure positive-class covering")
+
+// FromRules extracts a detection predicate from a covering rule set.
+// The conversion is sound only when every rule predicts positiveClass
+// and the default class is not positiveClass: then the ordered rule
+// list degenerates to an unordered disjunction, and the predicate fires
+// exactly when the rule set would classify the state as positive.
+func FromRules(rs *rules.RuleSet, positiveClass int, vars []string, name string) (*Predicate, error) {
+	if rs == nil {
+		return nil, errors.New("predicate: nil rule set")
+	}
+	if rs.Default == positiveClass {
+		return nil, fmt.Errorf("%w: default class is the positive class", ErrUnsoundRuleSet)
+	}
+	p := &Predicate{Name: name, Vars: append([]string(nil), vars...)}
+	for i, r := range rs.Rules {
+		if r.Class != positiveClass {
+			return nil, fmt.Errorf("%w: rule %d predicts class %d", ErrUnsoundRuleSet, i, r.Class)
+		}
+		clause := make(Clause, 0, len(r.Conds))
+		for _, c := range r.Conds {
+			atom := Atom{Index: c.Attr, Threshold: c.Threshold}
+			if c.Attr < len(vars) {
+				atom.Var = vars[c.Attr]
+			} else {
+				atom.Var = fmt.Sprintf("attr%d", c.Attr)
+			}
+			switch {
+			case c.Nominal:
+				atom.Op = EQ
+				atom.Threshold = float64(c.Value)
+			case c.LessEq:
+				atom.Op = LE
+			default:
+				atom.Op = GT
+			}
+			clause = append(clause, atom)
+		}
+		if simplified, ok := simplify(clause); ok {
+			p.Clauses = append(p.Clauses, simplified)
+		}
+	}
+	return p, nil
+}

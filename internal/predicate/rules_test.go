@@ -1,0 +1,97 @@
+package predicate
+
+import (
+	"errors"
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining/rules"
+	"edem/internal/stats"
+)
+
+func TestFromRulesMatchesRuleSet(t *testing.T) {
+	// Learn a PRISM rule set on threshold data, convert to a predicate,
+	// and check decision equivalence on the training points.
+	d := trainDataForRules(400, 1)
+	model, err := rules.PRISM{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := model.(*rules.RuleSet)
+	vars := make([]string, len(d.Attrs))
+	for i, a := range d.Attrs {
+		vars[i] = a.Name
+	}
+	pred, err := FromRules(rs, 1, vars, "rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Instances {
+		vs := d.Instances[i].Values
+		if pred.Eval(vs) != (rs.Classify(vs) == 1) {
+			t.Fatalf("predicate and rule set disagree on instance %d", i)
+		}
+	}
+	if len(pred.Clauses) != len(rs.Rules) {
+		t.Fatalf("clauses = %d, rules = %d", len(pred.Clauses), len(rs.Rules))
+	}
+}
+
+func trainDataForRules(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("rules", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NumericAttr("y"),
+	}, []string{"nonfailure", "failure"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		class := 0
+		if x > 0.7 && y < 0.4 {
+			class = 1
+		}
+		d.MustAdd(dataset.Instance{Values: []float64{x, y}, Class: class, Weight: 1})
+	}
+	return d
+}
+
+func TestFromRulesRejectsUnsound(t *testing.T) {
+	// Default class positive: unsound.
+	rs := &rules.RuleSet{Default: 1}
+	if _, err := FromRules(rs, 1, []string{"x"}, "u"); !errors.Is(err, ErrUnsoundRuleSet) {
+		t.Fatalf("err = %v", err)
+	}
+	// Rule predicting the negative class: unsound.
+	rs = &rules.RuleSet{
+		Default: 0,
+		Rules:   []rules.Rule{{Class: 0, Conds: []rules.Condition{{Attr: 0, LessEq: true, Threshold: 1}}}},
+	}
+	if _, err := FromRules(rs, 1, []string{"x"}, "u"); !errors.Is(err, ErrUnsoundRuleSet) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FromRules(nil, 1, nil, "u"); err == nil {
+		t.Fatal("nil rule set should fail")
+	}
+}
+
+func TestFromRulesNominalConditions(t *testing.T) {
+	rs := &rules.RuleSet{
+		Default: 0,
+		Rules: []rules.Rule{{
+			Class: 1,
+			Conds: []rules.Condition{
+				{Attr: 0, Nominal: true, Value: 2},
+				{Attr: 1, LessEq: false, Threshold: 5},
+			},
+		}},
+	}
+	pred, err := FromRules(rs, 1, []string{"mode", "x"}, "nom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Eval([]float64{2, 6}) {
+		t.Error("matching state should fire")
+	}
+	if pred.Eval([]float64{1, 6}) || pred.Eval([]float64{2, 5}) {
+		t.Error("non-matching states should not fire")
+	}
+}

@@ -1,0 +1,19 @@
+package propane
+
+// ChainProbe fans instrumentation visits out to several probes in
+// order. It composes an injecting probe with observing probes such as a
+// runtime detector, so a detector can be exercised during an injection
+// campaign exactly as it would run in production.
+type ChainProbe []Probe
+
+var _ Probe = ChainProbe{}
+
+// Visit implements Probe.
+func (c ChainProbe) Visit(module string, loc Location, vars []VarRef) {
+	for _, p := range c {
+		p.Visit(module, loc, vars)
+	}
+}
+
+// Chain combines probes into a single probe.
+func Chain(probes ...Probe) Probe { return ChainProbe(probes) }

@@ -1,0 +1,75 @@
+package propane
+
+import (
+	"errors"
+	"math"
+
+	"edem/internal/dataset"
+)
+
+// Class labels of fault-injection datasets. The positive (minority)
+// concept is the failure-inducing state, at class index 1, matching the
+// convention of internal/mining/eval.
+const (
+	ClassNonFailure = "nonfailure"
+	ClassFailure    = "failure"
+)
+
+// ErrNoRecords reports a campaign with no usable (sampled) records.
+var ErrNoRecords = errors.New("propane: campaign has no sampled records")
+
+// ToDataset converts a campaign into a mining dataset: one instance per
+// sampled injected run, attributes the module's variables, class
+// failure / nonfailure. Non-finite sampled values (NaN/Inf produced by
+// corrupted floating-point state) are clamped to large sentinels so the
+// learners see them as extreme but ordered magnitudes.
+func ToDataset(c *Campaign) (*dataset.Dataset, error) {
+	attrs := make([]dataset.Attribute, len(c.VarNames))
+	for i, name := range c.VarNames {
+		attrs[i] = dataset.NumericAttr(name)
+	}
+	d := dataset.New(c.Spec.Dataset, attrs, []string{ClassNonFailure, ClassFailure})
+	for i := range c.Records {
+		r := &c.Records[i]
+		if !r.Sampled {
+			continue
+		}
+		vals := make([]float64, len(r.State))
+		for j, v := range r.State {
+			vals[j] = finite(v)
+		}
+		class := 0
+		if r.Failure {
+			class = 1
+		}
+		if err := d.Add(dataset.Instance{Values: vals, Class: class, Weight: 1}); err != nil {
+			return nil, err
+		}
+	}
+	if d.Len() == 0 {
+		return nil, ErrNoRecords
+	}
+	return d, nil
+}
+
+// finiteBound is the sentinel magnitude substituted for non-finite
+// sampled values. It exceeds any legitimate value produced by the
+// bundled targets by many orders of magnitude, so threshold splits can
+// isolate corrupted states.
+const finiteBound = 1e308
+
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		// NaN carries no ordering; map it beyond the positive sentinel
+		// region is ambiguous, so use the positive bound: a NaN state is
+		// as anomalous as an overflowed one.
+		return finiteBound
+	case math.IsInf(v, 1):
+		return finiteBound
+	case math.IsInf(v, -1):
+		return -finiteBound
+	default:
+		return v
+	}
+}

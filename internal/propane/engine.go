@@ -1,0 +1,353 @@
+package propane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"edem/internal/bitflip"
+)
+
+// Spec configures one fault-injection campaign, producing one dataset in
+// the sense of Table II: a (target, module, injection location, sampling
+// location) combination exercised across test cases, variables, bit
+// positions and injection times.
+type Spec struct {
+	// Dataset is the dataset name, e.g. "FG-A2".
+	Dataset string
+	// Module is the instrumented module under injection.
+	Module string
+	// InjectAt and SampleAt choose the instrumentation locations.
+	InjectAt Location
+	SampleAt Location
+	// InjectionTimes lists the 1-based activation indices of the
+	// injection location at which the flip is performed. Each run uses
+	// exactly one of them (single-fault model).
+	InjectionTimes []int
+	// TestCases is the number of workload configurations to generate.
+	TestCases int
+	// Seed drives test-case generation.
+	Seed uint64
+	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// BitStride samples every BitStride-th bit position (1 = every bit,
+	// the paper's configuration). Larger strides scale campaigns down
+	// while preserving coverage of sign, exponent and mantissa regions.
+	BitStride int
+}
+
+// Validate checks the spec for structural problems.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Dataset == "":
+		return errors.New("propane: spec missing dataset name")
+	case s.Module == "":
+		return errors.New("propane: spec missing module")
+	case s.InjectAt != Entry && s.InjectAt != Exit:
+		return fmt.Errorf("propane: bad injection location %v", s.InjectAt)
+	case s.SampleAt != Entry && s.SampleAt != Exit:
+		return fmt.Errorf("propane: bad sampling location %v", s.SampleAt)
+	case len(s.InjectionTimes) == 0:
+		return errors.New("propane: spec needs at least one injection time")
+	case s.TestCases <= 0:
+		return errors.New("propane: spec needs at least one test case")
+	}
+	for _, t := range s.InjectionTimes {
+		if t < 1 {
+			return fmt.Errorf("propane: injection time %d must be >= 1", t)
+		}
+	}
+	if s.BitStride < 0 {
+		return fmt.Errorf("propane: bit stride %d must be >= 0", s.BitStride)
+	}
+	return nil
+}
+
+func (s *Spec) bitStride() int {
+	if s.BitStride <= 0 {
+		return 1
+	}
+	return s.BitStride
+}
+
+// BitPlan returns the bit positions a campaign injects for a variable
+// kind. With stride 1 every bit is flipped, the paper's configuration.
+// Larger strides thin out only the low-order bits (for float64, the low
+// mantissa; for integers, the low magnitude bits) while always covering
+// the top 16 bits densely — the sign, exponent and high-order region
+// where flips are consequential. A uniform stride would silently skip
+// most of that region and with it most failure modes.
+func BitPlan(kind bitflip.Kind, stride int) []int {
+	n := kind.Bits()
+	if stride <= 1 {
+		stride = 1
+	}
+	const denseTop = 16
+	if n <= denseTop || stride == 1 {
+		bits := make([]int, n)
+		for i := range bits {
+			bits[i] = i
+		}
+		return bits
+	}
+	var bits []int
+	for b := 0; b < n-denseTop; b += stride {
+		bits = append(bits, b)
+	}
+	for b := n - denseTop; b < n; b++ {
+		bits = append(bits, b)
+	}
+	return bits
+}
+
+// Record is the outcome of one injected run: which fault was injected,
+// the module state sampled at the sampling location, and whether the run
+// violated the failure specification.
+type Record struct {
+	TestCase      int
+	Var           string
+	Bit           int
+	InjectionTime int
+	// State holds the sampled values of the module's variables, in
+	// ModuleInfo order. Nil if the sampling point was never reached
+	// after injection (e.g. the run crashed first).
+	State []float64
+	// Injected reports whether the injection activation was reached.
+	Injected bool
+	// Sampled reports whether the state was captured post-injection.
+	Sampled bool
+	// Failure reports whether the run violated the failure spec (an
+	// output deviation from the golden run, a domain-specific violation,
+	// or a crash).
+	Failure bool
+	// Crashed reports whether the run panicked or returned an error.
+	Crashed bool
+}
+
+// Campaign is the result of running a Spec against a target.
+type Campaign struct {
+	Spec     Spec
+	Target   string
+	VarNames []string
+	Records  []Record
+	// Golden holds one output per test case from the fault-free runs.
+	goldenOutputs []any
+}
+
+// Failures counts records labelled as failures.
+func (c *Campaign) Failures() int {
+	n := 0
+	for i := range c.Records {
+		if c.Records[i].Failure {
+			n++
+		}
+	}
+	return n
+}
+
+// Usable counts records that produced a sampled state (and therefore a
+// dataset instance).
+func (c *Campaign) Usable() int {
+	n := 0
+	for i := range c.Records {
+		if c.Records[i].Sampled {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrModuleNotFound reports a spec naming a module the target lacks.
+var ErrModuleNotFound = errors.New("propane: module not found in target")
+
+// Run executes the full campaign: golden runs for every test case, then
+// one injected run per (test case, variable, bit, injection time),
+// fanned out across workers. Results are deterministic for a given spec
+// and target: records appear in job order regardless of scheduling.
+func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mod, ok := Module(target, spec.Module)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", ErrModuleNotFound, spec.Module, target.Name())
+	}
+
+	tcs := target.TestCases(spec.TestCases, spec.Seed)
+	golden := make([]any, len(tcs))
+	for i, tc := range tcs {
+		out, err := runSafely(target, tc, NopProbe{})
+		if err != nil {
+			return nil, fmt.Errorf("propane: golden run for test case %d: %w", tc.ID, err)
+		}
+		golden[i] = out
+	}
+
+	type job struct {
+		tcIdx  int
+		varIdx int
+		bit    int
+		time   int
+	}
+	var jobs []job
+	stride := spec.bitStride()
+	for tcIdx := range tcs {
+		for varIdx, v := range mod.Vars {
+			for _, bit := range BitPlan(v.Kind, stride) {
+				for _, t := range spec.InjectionTimes {
+					jobs = append(jobs, job{tcIdx: tcIdx, varIdx: varIdx, bit: bit, time: t})
+				}
+			}
+		}
+	}
+
+	records := make([]Record, len(jobs))
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	jobCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobCh {
+				j := jobs[idx]
+				records[idx] = runInjected(target, spec, mod, tcs[j.tcIdx], golden[j.tcIdx], j.varIdx, j.bit, j.time)
+			}
+		}()
+	}
+	var ctxErr error
+dispatch:
+	for idx := range jobs {
+		select {
+		case jobCh <- idx:
+		case <-ctx.Done():
+			ctxErr = ctx.Err()
+			break dispatch
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+	if ctxErr != nil {
+		return nil, fmt.Errorf("propane: campaign cancelled: %w", ctxErr)
+	}
+
+	varNames := make([]string, len(mod.Vars))
+	for i, v := range mod.Vars {
+		varNames[i] = v.Name
+	}
+	return &Campaign{
+		Spec:          spec,
+		Target:        target.Name(),
+		VarNames:      varNames,
+		Records:       records,
+		goldenOutputs: golden,
+	}, nil
+}
+
+// runInjected performs one injected run and classifies the outcome.
+func runInjected(target Target, spec Spec, mod ModuleInfo, tc TestCase, golden any, varIdx, bit, injTime int) Record {
+	probe := &injectProbe{
+		module:   spec.Module,
+		injectAt: spec.InjectAt,
+		sampleAt: spec.SampleAt,
+		injTime:  injTime,
+		varName:  mod.Vars[varIdx].Name,
+		bit:      bit,
+	}
+	out, err := runSafely(target, tc, probe)
+	rec := Record{
+		TestCase:      tc.ID,
+		Var:           mod.Vars[varIdx].Name,
+		Bit:           bit,
+		InjectionTime: injTime,
+		State:         probe.state,
+		Injected:      probe.injected,
+		Sampled:       probe.sampled,
+	}
+	switch {
+	case err != nil:
+		rec.Crashed = true
+		rec.Failure = probe.injected
+	case probe.injected:
+		rec.Failure = target.Failed(tc, golden, out)
+	}
+	return rec
+}
+
+// runSafely executes target.Run converting panics (which corrupted
+// values can legitimately provoke inside target code) into errors, so a
+// crash is just another observable failure mode of an injected run.
+func runSafely(target Target, tc TestCase, probe Probe) (out any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("propane: target panicked: %v", r)
+		}
+	}()
+	return target.Run(tc, probe)
+}
+
+// injectProbe flips one bit of one variable at the configured activation
+// of the injection location, then samples the module state at the first
+// subsequent visit of the sampling location. When injection and sampling
+// share a location the sample is taken in the same visit, immediately
+// after the flip (paper §VI-A: "inject errors at the end of a module,
+// and sample straight after the injection").
+type injectProbe struct {
+	module   string
+	injectAt Location
+	sampleAt Location
+	injTime  int
+	varName  string
+	bit      int
+
+	activations int
+	injected    bool
+	sampled     bool
+	state       []float64
+}
+
+var _ Probe = (*injectProbe)(nil)
+
+func (p *injectProbe) Visit(module string, loc Location, vars []VarRef) {
+	if module != p.module || p.sampled {
+		return
+	}
+	if loc == p.injectAt {
+		p.activations++
+		if !p.injected && p.activations == p.injTime {
+			for _, v := range vars {
+				if v.Name == p.varName {
+					// Width errors cannot occur: the campaign enumerates
+					// bits from the declared kind. Ignore defensively.
+					_ = v.FlipBit(p.bit)
+					break
+				}
+			}
+			p.injected = true
+			if p.sampleAt == loc {
+				p.sample(vars)
+			}
+			return
+		}
+	}
+	if loc == p.sampleAt && p.injected {
+		p.sample(vars)
+	}
+}
+
+func (p *injectProbe) sample(vars []VarRef) {
+	p.state = make([]float64, len(vars))
+	for i, v := range vars {
+		p.state[i] = v.Read()
+	}
+	p.sampled = true
+}

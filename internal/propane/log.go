@@ -1,0 +1,176 @@
+package propane
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The PROPANE-style log format: a self-describing line-oriented text
+// format, one injected run per RUN line. The purpose-built conversion
+// tool of paper §VII-B is WriteLog/ReadLog plus ToDataset (log → ARFF).
+//
+//	#PROPANE v1
+//	#target 7-Zip
+//	#dataset 7Z-A2
+//	#module FHandle
+//	#inject Entry
+//	#sample Exit
+//	#vars bytesIn bytesOut crc ...
+//	RUN tc=3 var=crc bit=17 t=2 inj=1 smp=1 fail=0 crash=0 state=1024,2048,...
+//
+// Fields are space-separated; the state vector is comma-separated and
+// omitted when no sample was captured.
+
+// WriteLog serialises a campaign in the PROPANE log format.
+func WriteLog(w io.Writer, c *Campaign) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#PROPANE v1")
+	fmt.Fprintf(bw, "#target %s\n", c.Target)
+	fmt.Fprintf(bw, "#dataset %s\n", c.Spec.Dataset)
+	fmt.Fprintf(bw, "#module %s\n", c.Spec.Module)
+	fmt.Fprintf(bw, "#inject %s\n", c.Spec.InjectAt)
+	fmt.Fprintf(bw, "#sample %s\n", c.Spec.SampleAt)
+	fmt.Fprintf(bw, "#vars %s\n", strings.Join(c.VarNames, " "))
+	for i := range c.Records {
+		r := &c.Records[i]
+		fmt.Fprintf(bw, "RUN tc=%d var=%s bit=%d t=%d inj=%s smp=%s fail=%s crash=%s",
+			r.TestCase, r.Var, r.Bit, r.InjectionTime,
+			bool01(r.Injected), bool01(r.Sampled), bool01(r.Failure), bool01(r.Crashed))
+		if r.Sampled {
+			parts := make([]string, len(r.State))
+			for j, v := range r.State {
+				parts[j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			fmt.Fprintf(bw, " state=%s", strings.Join(parts, ","))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a PROPANE log stream written by WriteLog.
+func ReadLog(r io.Reader) (*Campaign, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	c := &Campaign{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "#PROPANE"):
+			// version line; only v1 exists.
+		case strings.HasPrefix(line, "#target "):
+			c.Target = line[len("#target "):]
+		case strings.HasPrefix(line, "#dataset "):
+			c.Spec.Dataset = line[len("#dataset "):]
+		case strings.HasPrefix(line, "#module "):
+			c.Spec.Module = line[len("#module "):]
+		case strings.HasPrefix(line, "#inject "):
+			loc, err := parseLocation(line[len("#inject "):])
+			if err != nil {
+				return nil, fmt.Errorf("propane: line %d: %w", lineNo, err)
+			}
+			c.Spec.InjectAt = loc
+		case strings.HasPrefix(line, "#sample "):
+			loc, err := parseLocation(line[len("#sample "):])
+			if err != nil {
+				return nil, fmt.Errorf("propane: line %d: %w", lineNo, err)
+			}
+			c.Spec.SampleAt = loc
+		case strings.HasPrefix(line, "#vars "):
+			c.VarNames = strings.Fields(line[len("#vars "):])
+		case strings.HasPrefix(line, "RUN "):
+			rec, err := parseRun(line[len("RUN "):])
+			if err != nil {
+				return nil, fmt.Errorf("propane: line %d: %w", lineNo, err)
+			}
+			c.Records = append(c.Records, rec)
+		default:
+			return nil, fmt.Errorf("propane: line %d: unrecognised line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("propane: read log: %w", err)
+	}
+	return c, nil
+}
+
+func parseLocation(s string) (Location, error) {
+	switch strings.TrimSpace(s) {
+	case "Entry":
+		return Entry, nil
+	case "Exit":
+		return Exit, nil
+	default:
+		return 0, fmt.Errorf("bad location %q", s)
+	}
+}
+
+func parseRun(rest string) (Record, error) {
+	var rec Record
+	for _, field := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return rec, fmt.Errorf("bad field %q", field)
+		}
+		var err error
+		switch key {
+		case "tc":
+			rec.TestCase, err = strconv.Atoi(val)
+		case "var":
+			rec.Var = val
+		case "bit":
+			rec.Bit, err = strconv.Atoi(val)
+		case "t":
+			rec.InjectionTime, err = strconv.Atoi(val)
+		case "inj":
+			rec.Injected, err = parse01(val)
+		case "smp":
+			rec.Sampled, err = parse01(val)
+		case "fail":
+			rec.Failure, err = parse01(val)
+		case "crash":
+			rec.Crashed, err = parse01(val)
+		case "state":
+			parts := strings.Split(val, ",")
+			rec.State = make([]float64, len(parts))
+			for i, p := range parts {
+				rec.State[i], err = strconv.ParseFloat(p, 64)
+				if err != nil {
+					return rec, fmt.Errorf("bad state value %q", p)
+				}
+			}
+		default:
+			return rec, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return rec, fmt.Errorf("field %q: %w", field, err)
+		}
+	}
+	return rec, nil
+}
+
+func bool01(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func parse01(s string) (bool, error) {
+	switch s {
+	case "0":
+		return false, nil
+	case "1":
+		return true, nil
+	default:
+		return false, fmt.Errorf("bad boolean %q", s)
+	}
+}

@@ -1,0 +1,210 @@
+// Package propane implements the fault-injection environment the paper
+// builds on (PROPANE, Hiller et al. [12]): golden-run capture, single
+// transient bit-flip injection into instrumented variables at configured
+// activation times, module-state sampling at entry/exit locations, a
+// textual log format, and parallel campaign execution.
+//
+// A target system exposes instrumented modules. During a run the target
+// calls Probe.Visit at every instrumentation point (module entry or exit)
+// passing live references to its variables; the engine uses those
+// references to inject exactly one bit flip per run and to record the
+// sampled state that becomes one row of a fault-injection dataset.
+package propane
+
+import (
+	"fmt"
+
+	"edem/internal/bitflip"
+)
+
+// Location is an instrumentation point within a module.
+type Location int
+
+// Instrumented locations: the entry point and exit point of a module
+// (paper §VI-D: "the entry-point and exit-point of each module were
+// instrumented locations").
+const (
+	Entry Location = iota + 1
+	Exit
+)
+
+// String returns the paper's spelling of the location.
+func (l Location) String() string {
+	switch l {
+	case Entry:
+		return "Entry"
+	case Exit:
+		return "Exit"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// VarRef is a live reference to one instrumented variable, provided by
+// the target at each instrumentation visit. Read returns a numeric view
+// of the current value (used for state sampling); FlipBit mutates the
+// underlying variable by toggling one bit of its machine representation
+// (used for fault injection).
+type VarRef struct {
+	Name    string
+	Kind    bitflip.Kind
+	Read    func() float64
+	FlipBit func(bit int) error
+}
+
+// Float64Ref adapts a *float64 to a VarRef.
+func Float64Ref(name string, p *float64) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Float64,
+		Read: func() float64 { return *p },
+		FlipBit: func(bit int) error {
+			v, err := bitflip.Float64Bit(*p, bit)
+			if err != nil {
+				return err
+			}
+			*p = v
+			return nil
+		},
+	}
+}
+
+// Int64Ref adapts a *int64 to a VarRef.
+func Int64Ref(name string, p *int64) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Int64,
+		Read: func() float64 { return float64(*p) },
+		FlipBit: func(bit int) error {
+			v, err := bitflip.Int64Bit(*p, bit)
+			if err != nil {
+				return err
+			}
+			*p = v
+			return nil
+		},
+	}
+}
+
+// Int32Ref adapts a *int32 to a VarRef.
+func Int32Ref(name string, p *int32) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Int32,
+		Read: func() float64 { return float64(*p) },
+		FlipBit: func(bit int) error {
+			v, err := bitflip.Int32Bit(*p, bit)
+			if err != nil {
+				return err
+			}
+			*p = v
+			return nil
+		},
+	}
+}
+
+// IntRef adapts a *int to a VarRef, treating it as 64-bit.
+func IntRef(name string, p *int) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Int64,
+		Read: func() float64 { return float64(*p) },
+		FlipBit: func(bit int) error {
+			v, err := bitflip.Int64Bit(int64(*p), bit)
+			if err != nil {
+				return err
+			}
+			*p = int(v)
+			return nil
+		},
+	}
+}
+
+// BoolRef adapts a *bool to a VarRef (false=0, true=1).
+func BoolRef(name string, p *bool) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Bool,
+		Read: func() float64 {
+			if *p {
+				return 1
+			}
+			return 0
+		},
+		FlipBit: func(bit int) error {
+			v, err := bitflip.BoolBit(*p, bit)
+			if err != nil {
+				return err
+			}
+			*p = v
+			return nil
+		},
+	}
+}
+
+// Probe receives instrumentation visits from a running target. The
+// engine installs probes that inject and sample; golden runs install a
+// recording probe; detector validation installs an asserting probe.
+type Probe interface {
+	// Visit is called by the target at every instrumentation point with
+	// live references to the module's variables, in a stable order.
+	Visit(module string, loc Location, vars []VarRef)
+}
+
+// NopProbe ignores all visits. Targets can use it for plain execution.
+type NopProbe struct{}
+
+// Visit implements Probe.
+func (NopProbe) Visit(string, Location, []VarRef) {}
+
+var _ Probe = NopProbe{}
+
+// VarDecl declares an instrumented variable in a module's interface.
+type VarDecl struct {
+	Name string
+	Kind bitflip.Kind
+}
+
+// ModuleInfo describes one instrumented module of a target system.
+type ModuleInfo struct {
+	Name string
+	Vars []VarDecl
+}
+
+// TestCase is one workload configuration for a target run. ID is unique
+// within a generated suite; Seed makes the workload reproducible.
+type TestCase struct {
+	ID   int
+	Seed uint64
+	// Params carries target-specific knobs (e.g. aircraft mass, wind
+	// speed, file count) purely for reporting.
+	Params map[string]float64
+}
+
+// Target is a system under fault injection. Implementations live in
+// internal/targets.
+type Target interface {
+	// Name returns the short system name (e.g. "7-Zip").
+	Name() string
+	// Modules lists the instrumented modules and their variables.
+	Modules() []ModuleInfo
+	// TestCases generates n deterministic workload configurations.
+	TestCases(n int, seed uint64) []TestCase
+	// Run executes one test case, calling probe at every
+	// instrumentation point, and returns an opaque output value.
+	Run(tc TestCase, probe Probe) (any, error)
+	// Failed decides whether an injected run's output constitutes a
+	// failure with respect to the golden run's output (the failure
+	// specification of paper §VI-F).
+	Failed(tc TestCase, golden, observed any) bool
+}
+
+// Module returns the ModuleInfo with the given name from a target.
+func Module(t Target, name string) (ModuleInfo, bool) {
+	for _, m := range t.Modules() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return ModuleInfo{}, false
+}

@@ -1,0 +1,85 @@
+package propane
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VarStat aggregates a campaign's outcomes for one injected variable —
+// the per-variable failure fingerprint that drives what the decision
+// trees can learn.
+type VarStat struct {
+	Var      string
+	Injected int
+	Failures int
+	Crashes  int
+	// Unsampled counts injected runs whose sampling point was never
+	// reached (typically crashes between injection and sampling).
+	Unsampled int
+}
+
+// FailureRate returns failures over injected runs (0 when none ran).
+func (v VarStat) FailureRate() float64 {
+	if v.Injected == 0 {
+		return 0
+	}
+	return float64(v.Failures) / float64(v.Injected)
+}
+
+// Summarize aggregates the campaign's records per injected variable, in
+// the module's variable order.
+func Summarize(c *Campaign) []VarStat {
+	byVar := make(map[string]*VarStat, len(c.VarNames))
+	order := make([]string, 0, len(c.VarNames))
+	for _, name := range c.VarNames {
+		byVar[name] = &VarStat{Var: name}
+		order = append(order, name)
+	}
+	for i := range c.Records {
+		r := &c.Records[i]
+		st, ok := byVar[r.Var]
+		if !ok {
+			st = &VarStat{Var: r.Var}
+			byVar[r.Var] = st
+			order = append(order, r.Var)
+		}
+		if !r.Injected {
+			continue
+		}
+		st.Injected++
+		if r.Failure {
+			st.Failures++
+		}
+		if r.Crashed {
+			st.Crashes++
+		}
+		if !r.Sampled {
+			st.Unsampled++
+		}
+	}
+	out := make([]VarStat, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byVar[name])
+	}
+	return out
+}
+
+// FormatStats renders the per-variable summary as a table, sorted by
+// descending failure rate for quick inspection of a campaign's failure
+// structure.
+func FormatStats(stats []VarStat) string {
+	sorted := make([]VarStat, len(stats))
+	copy(sorted, stats)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].FailureRate() > sorted[j].FailureRate()
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %9s %9s %8s %7s %10s\n",
+		"variable", "injected", "failures", "rate", "crashes", "unsampled")
+	for _, v := range sorted {
+		fmt.Fprintf(&sb, "%-18s %9d %9d %7.1f%% %7d %10d\n",
+			v.Var, v.Injected, v.Failures, 100*v.FailureRate(), v.Crashes, v.Unsampled)
+	}
+	return sb.String()
+}

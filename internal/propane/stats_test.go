@@ -1,0 +1,62 @@
+package propane
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	camp, err := Run(context.Background(), &toyTarget{}, toySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Summarize(camp)
+	if len(stats) != 3 {
+		t.Fatalf("stats = %d vars", len(stats))
+	}
+	// Order follows the module declaration.
+	if stats[0].Var != "acc" || stats[1].Var != "gate" || stats[2].Var != "junk" {
+		t.Fatalf("order: %v %v %v", stats[0].Var, stats[1].Var, stats[2].Var)
+	}
+	totalInjected, totalFailures := 0, 0
+	for _, s := range stats {
+		totalInjected += s.Injected
+		totalFailures += s.Failures
+		if s.Injected != 64*3*2 { // bits x test cases x times
+			t.Errorf("%s injected = %d", s.Var, s.Injected)
+		}
+	}
+	if totalFailures != camp.Failures() {
+		t.Fatalf("stats failures %d != campaign %d", totalFailures, camp.Failures())
+	}
+	// The dead variable never fails.
+	if stats[2].Failures != 0 {
+		t.Errorf("junk failures = %d", stats[2].Failures)
+	}
+	if stats[0].FailureRate() <= 0 {
+		t.Error("acc failure rate should be positive")
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	stats := []VarStat{
+		{Var: "quiet", Injected: 10, Failures: 0},
+		{Var: "loud", Injected: 10, Failures: 8, Crashes: 2, Unsampled: 1},
+	}
+	s := FormatStats(stats)
+	if !strings.Contains(s, "loud") || !strings.Contains(s, "80.0%") {
+		t.Errorf("format:\n%s", s)
+	}
+	// Sorted by failure rate: loud first.
+	if strings.Index(s, "loud") > strings.Index(s, "quiet") {
+		t.Error("stats not sorted by failure rate")
+	}
+}
+
+func TestVarStatZero(t *testing.T) {
+	var v VarStat
+	if v.FailureRate() != 0 {
+		t.Fatal("zero stat rate")
+	}
+}

@@ -1,0 +1,236 @@
+package flightgear
+
+import (
+	"math"
+	"testing"
+
+	"edem/internal/propane"
+)
+
+func TestTestCaseGrid(t *testing.T) {
+	s := System{}
+	tcs := s.TestCases(9, 1)
+	if len(tcs) != 9 {
+		t.Fatalf("test cases = %d", len(tcs))
+	}
+	masses := map[float64]int{}
+	winds := map[float64]int{}
+	for _, tc := range tcs {
+		masses[tc.Params["massLbs"]]++
+		winds[tc.Params["windKph"]]++
+	}
+	for _, m := range []float64{1300, 1700, 2100} {
+		if masses[m] != 3 {
+			t.Errorf("mass %v appears %d times", m, masses[m])
+		}
+	}
+	for _, w := range []float64{0, 30, 60} {
+		if winds[w] != 3 {
+			t.Errorf("wind %v appears %d times", w, winds[w])
+		}
+	}
+	// Capped generation.
+	if got := len(s.TestCases(4, 1)); got != 4 {
+		t.Errorf("capped cases = %d", got)
+	}
+}
+
+func TestGoldenTakeoffsSucceed(t *testing.T) {
+	s := System{}
+	for _, tc := range s.TestCases(9, 1) {
+		out, err := s.Run(tc, propane.NopProbe{})
+		if err != nil {
+			t.Fatalf("tc %d: %v", tc.ID, err)
+		}
+		o := out.(Outcome)
+		if s.Failed(tc, o, o) {
+			t.Errorf("tc %d (mass=%v wind=%v) fails its own spec: %+v",
+				tc.ID, tc.Params["massLbs"], tc.Params["windKph"], o)
+		}
+		if !o.ReachedCritical || !o.ReachedRotate || !o.ReachedSafe {
+			t.Errorf("tc %d speed gates: %+v", tc.ID, o)
+		}
+		if !o.ClearedObstacle {
+			t.Errorf("tc %d never cleared the obstacle", tc.ID)
+		}
+		if o.MaxPitchRateBeforeClear > maxPitchRate {
+			t.Errorf("tc %d pitch rate %v exceeds spec in golden run", tc.ID, o.MaxPitchRateBeforeClear)
+		}
+	}
+}
+
+func TestHeadwindShortensTakeoff(t *testing.T) {
+	s := System{}
+	tcs := s.TestCases(9, 1)
+	// tc 0: 1300 lbs, 0 kph; tc 2: 1300 lbs, 60 kph.
+	o0, err := s.Run(tcs[0], propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.Run(tcs[2], propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.(Outcome).TakeoffDistance >= o0.(Outcome).TakeoffDistance {
+		t.Errorf("headwind did not shorten takeoff: %v vs %v",
+			o2.(Outcome).TakeoffDistance, o0.(Outcome).TakeoffDistance)
+	}
+}
+
+func TestHeavierAircraftRollsLonger(t *testing.T) {
+	s := System{}
+	tcs := s.TestCases(9, 1)
+	// tc 0: 1300 lbs; tc 6: 2100 lbs, both 0 kph wind.
+	o0, _ := s.Run(tcs[0], propane.NopProbe{})
+	o6, _ := s.Run(tcs[6], propane.NopProbe{})
+	if o6.(Outcome).TakeoffDistance <= o0.(Outcome).TakeoffDistance {
+		t.Errorf("mass did not lengthen takeoff: %v vs %v",
+			o6.(Outcome).TakeoffDistance, o0.(Outcome).TakeoffDistance)
+	}
+}
+
+func TestSpecTakeoffDistance(t *testing.T) {
+	if got := SpecTakeoffDistance(BaseWeightLbs); got != baseTakeoffDistance {
+		t.Errorf("base spec = %v", got)
+	}
+	if got := SpecTakeoffDistance(BaseWeightLbs - 100); got != baseTakeoffDistance {
+		t.Errorf("below base spec = %v", got)
+	}
+	// Monotone increasing in weight.
+	prev := 0.0
+	for m := 1300.0; m <= 2100; m += 100 {
+		s := SpecTakeoffDistance(m)
+		if s <= prev {
+			t.Errorf("spec not monotone at %v lbs", m)
+		}
+		prev = s
+	}
+	// 200 lbs over base: the paper's +10 m plus the quadratic term.
+	want := baseTakeoffDistance + 10 + quadLoadCoeff
+	if got := SpecTakeoffDistance(BaseWeightLbs + 200); math.Abs(got-want) > 1e-9 {
+		t.Errorf("spec(+200lbs) = %v, want %v", got, want)
+	}
+}
+
+func TestFailedSpecBranches(t *testing.T) {
+	s := System{}
+	tc := s.TestCases(1, 1)[0]
+	good := Outcome{
+		ReachedCritical: true, ReachedRotate: true, ReachedSafe: true,
+		TakeoffDistance: 100, MaxPitchRateBeforeClear: 3, ClearedObstacle: true,
+	}
+	if s.Failed(tc, good, good) {
+		t.Fatal("good outcome flagged")
+	}
+	for name, mutate := range map[string]func(Outcome) Outcome{
+		"speed":    func(o Outcome) Outcome { o.ReachedSafe = false; return o },
+		"distance": func(o Outcome) Outcome { o.TakeoffDistance = 1e6; return o },
+		"nan dist": func(o Outcome) Outcome { o.TakeoffDistance = math.NaN(); return o },
+		"angle":    func(o Outcome) Outcome { o.MaxPitchRateBeforeClear = 5; return o },
+		"stall":    func(o Outcome) Outcome { o.Stalled = true; return o },
+		"obstacle": func(o Outcome) Outcome { o.ClearedObstacle = false; return o },
+	} {
+		if !s.Failed(tc, good, mutate(good)) {
+			t.Errorf("%s failure not detected", name)
+		}
+	}
+	if !s.Failed(tc, good, "garbage") {
+		t.Error("non-outcome must fail")
+	}
+}
+
+func TestRunRequiresParams(t *testing.T) {
+	s := System{}
+	if _, err := s.Run(propane.TestCase{ID: 0}, propane.NopProbe{}); err == nil {
+		t.Fatal("missing params should error")
+	}
+	if _, err := s.Run(propane.TestCase{ID: 0, Params: map[string]float64{"massLbs": 1300}}, propane.NopProbe{}); err == nil {
+		t.Fatal("missing wind should error")
+	}
+}
+
+func TestModuleActivationCount(t *testing.T) {
+	s := System{}
+	counts := map[string]int{}
+	probe := probeFunc(func(mod string, loc propane.Location, _ []propane.VarRef) {
+		if loc == propane.Entry {
+			counts[mod]++
+		}
+	})
+	if _, err := s.Run(s.TestCases(1, 1)[0], probe); err != nil {
+		t.Fatal(err)
+	}
+	if counts[ModuleGear] != Iterations || counts[ModuleMass] != Iterations {
+		t.Fatalf("activations = %v, want %d each", counts, Iterations)
+	}
+}
+
+type probeFunc func(string, propane.Location, []propane.VarRef)
+
+func (f probeFunc) Visit(m string, l propane.Location, v []propane.VarRef) { f(m, l, v) }
+
+func TestCorruptedFrictionCausesFailure(t *testing.T) {
+	// Massive rolling friction injected mid-roll must violate the spec
+	// for the heavy aircraft.
+	s := System{}
+	tc := s.TestCases(9, 1)[6] // 2100 lbs, 0 wind
+	golden, err := s.Run(tc, propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inject := &flipAtProbe{module: ModuleGear, varName: "rollCoeff", bit: 62, activation: 900}
+	out, err := s.Run(tc, inject)
+	if err == nil && !s.Failed(tc, golden, out) {
+		t.Fatal("huge rolling friction mid-roll should cause a failure")
+	}
+}
+
+func TestFuelClampMakesCorruptionAmbiguous(t *testing.T) {
+	// A wildly corrupted fuel mass clamps to tank capacity; whether it
+	// then fails depends on wind — with a 60 kph headwind the overweight
+	// aircraft still makes its numbers.
+	s := System{}
+	tcs := s.TestCases(9, 1)
+	results := map[float64]bool{}
+	for _, idx := range []int{3, 5} { // 1700 lbs at 0 and 60 kph
+		tc := tcs[idx]
+		golden, err := s.Run(tc, propane.NopProbe{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inject := &flipAtProbe{module: ModuleMass, varName: "fuelMass", bit: 61, activation: 900}
+		out, err := s.Run(tc, inject)
+		failed := err != nil || s.Failed(tc, golden, out)
+		results[tc.Params["windKph"]] = failed
+	}
+	if !results[0] {
+		t.Error("overweight at 0 kph should fail")
+	}
+	if results[60] {
+		t.Error("overweight at 60 kph should survive (hidden-state ambiguity)")
+	}
+}
+
+type flipAtProbe struct {
+	module     string
+	varName    string
+	bit        int
+	activation int
+	count      int
+	done       bool
+}
+
+func (p *flipAtProbe) Visit(mod string, loc propane.Location, vars []propane.VarRef) {
+	if mod != p.module || loc != propane.Entry || p.done {
+		return
+	}
+	p.count++
+	if p.count == p.activation {
+		for _, v := range vars {
+			if v.Name == p.varName {
+				_ = v.FlipBit(p.bit)
+			}
+		}
+		p.done = true
+	}
+}

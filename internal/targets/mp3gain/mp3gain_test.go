@@ -1,0 +1,249 @@
+package mp3gain
+
+import (
+	"math"
+	"testing"
+
+	"edem/internal/propane"
+)
+
+func TestGoldenDeterminism(t *testing.T) {
+	s := System{}
+	tc := s.TestCases(2, 5)[1]
+	o1, err := s.Run(tc, propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.Run(tc, propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Fatal("golden runs differ")
+	}
+	if s.Failed(tc, o1, o2) {
+		t.Fatal("identical outputs must not fail")
+	}
+}
+
+func TestDistinctTestCasesDiffer(t *testing.T) {
+	s := System{}
+	tcs := s.TestCases(2, 5)
+	o1, _ := s.Run(tcs[0], propane.NopProbe{})
+	o2, _ := s.Run(tcs[1], propane.NopProbe{})
+	if o1 == o2 {
+		t.Fatal("distinct test cases gave identical digests")
+	}
+}
+
+func TestAnalyseLoudnessOrdering(t *testing.T) {
+	// A louder signal must measure louder.
+	s := System{}
+	quiet := make([]float64, 2000)
+	loud := make([]float64, 2000)
+	for i := range quiet {
+		v := math.Sin(2 * math.Pi * 440 * float64(i) / sampleRate)
+		quiet[i] = 0.05 * v
+		loud[i] = 0.6 * v
+	}
+	aq := &analysis{}
+	s.analyse(aq, quiet)
+	al := &analysis{}
+	s.analyse(al, loud)
+	if al.loudness <= aq.loudness {
+		t.Fatalf("loud %.2f <= quiet %.2f", al.loudness, aq.loudness)
+	}
+	if al.peak <= aq.peak {
+		t.Fatalf("peaks: %v <= %v", al.peak, aq.peak)
+	}
+}
+
+func TestAnalyseEmptyTrack(t *testing.T) {
+	s := System{}
+	an := &analysis{}
+	s.analyse(an, nil)
+	if an.loudness != loudnessFloor {
+		t.Fatalf("empty track loudness = %v", an.loudness)
+	}
+	s.analyse(an, make([]float64, 2000)) // silence
+	if an.loudness != loudnessFloor {
+		t.Fatalf("silent track loudness = %v", an.loudness)
+	}
+}
+
+func TestPeakIsQuantized(t *testing.T) {
+	s := System{}
+	an := &analysis{}
+	pcm := make([]float64, 2000)
+	for i := range pcm {
+		pcm[i] = 0.513 * math.Sin(2*math.Pi*300*float64(i)/sampleRate)
+	}
+	s.analyse(an, pcm)
+	if an.peak <= 0 {
+		t.Fatal("no peak measured")
+	}
+	q := an.peak * 256
+	if math.Abs(q-math.Round(q)) > 1e-9 {
+		t.Fatalf("peak %v is not on the 1/256 grid", an.peak)
+	}
+}
+
+func TestGainQuantizedToSteps(t *testing.T) {
+	g := &gain{targetDB: targetLoudness}
+	pcm := []float64{0.1, -0.1, 0.2}
+	if _, err := g.apply(80, 0.5, pcm); err != nil {
+		t.Fatal(err)
+	}
+	steps := g.gainDB / gainStepDB
+	if math.Abs(steps-math.Round(steps)) > 1e-9 {
+		t.Fatalf("gain %v dB is not a multiple of %v", g.gainDB, gainStepDB)
+	}
+}
+
+func TestGainRejectsAbsurdValues(t *testing.T) {
+	g := &gain{targetDB: targetLoudness}
+	if _, err := g.apply(5, 0.5, []float64{0}); err == nil {
+		t.Fatal("gain beyond range should be rejected")
+	}
+	if _, err := g.apply(math.NaN(), 0.5, []float64{0}); err == nil {
+		t.Fatal("NaN loudness should be rejected")
+	}
+}
+
+func TestClipGuardCapsGain(t *testing.T) {
+	g := &gain{targetDB: targetLoudness}
+	pcm := []float64{0.9, -0.9}
+	// Quiet measurement would demand a big boost, but the album peak is
+	// already near full scale: the guard must back the gain off.
+	out, err := g.apply(75, 0.95, pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.scale*0.95 > 1+1e-9 {
+		t.Fatalf("clip guard failed: scale %v with peak 0.95", g.scale)
+	}
+	if len(out) != 4 {
+		t.Fatalf("output bytes = %d", len(out))
+	}
+}
+
+func TestApplyCountsClipping(t *testing.T) {
+	g := &gain{targetDB: targetLoudness}
+	pcm := []float64{2, -2, 0.1}
+	if _, err := g.apply(targetLoudness, 0, pcm); err != nil { // scale 1, no peak info
+		t.Fatal(err)
+	}
+	if g.clipCount != 2 {
+		t.Fatalf("clipCount = %d, want 2", g.clipCount)
+	}
+}
+
+func TestNormalizationEqualizesLoudness(t *testing.T) {
+	// After normalisation, quiet and loud tracks end up at comparable
+	// loudness (within one gain step plus measurement wiggle).
+	s := System{}
+	mk := func(amp float64) []float64 {
+		pcm := make([]float64, 4000)
+		for i := range pcm {
+			pcm[i] = amp * math.Sin(2*math.Pi*500*float64(i)/sampleRate)
+		}
+		return pcm
+	}
+	decode := func(b []byte) []float64 {
+		out := make([]float64, len(b)/2)
+		for i := range out {
+			v := int16(uint16(b[2*i]) | uint16(b[2*i+1])<<8)
+			out[i] = float64(v) / 32767
+		}
+		return out
+	}
+	loudnessOf := func(pcm []float64) float64 {
+		an := &analysis{}
+		s.analyse(an, pcm)
+		return an.loudness
+	}
+	g1 := &gain{targetDB: targetLoudness}
+	o1, err := g1.apply(loudnessOf(mk(0.05)), 0, mk(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := &gain{targetDB: targetLoudness}
+	o2, err := g2.apply(loudnessOf(mk(0.4)), 0, mk(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := loudnessOf(decode(o1))
+	l2 := loudnessOf(decode(o2))
+	if math.Abs(l1-l2) > 2*gainStepDB {
+		t.Fatalf("normalised loudness differs: %v vs %v", l1, l2)
+	}
+}
+
+func TestModuleActivations(t *testing.T) {
+	s := System{}
+	counts := map[string]int{}
+	probe := probeFunc(func(mod string, loc propane.Location, _ []propane.VarRef) {
+		if loc == propane.Entry {
+			counts[mod]++
+		}
+	})
+	if _, err := s.Run(s.TestCases(1, 1)[0], probe); err != nil {
+		t.Fatal(err)
+	}
+	want := s.tracksPerCase()
+	if counts[ModuleGAnalysis] != want || counts[ModuleRGain] != want {
+		t.Fatalf("activations = %v, want %d each", counts, want)
+	}
+}
+
+type probeFunc func(string, propane.Location, []propane.VarRef)
+
+func (f probeFunc) Visit(m string, l propane.Location, v []propane.VarRef) { f(m, l, v) }
+
+func TestCorruptedTargetCausesFailure(t *testing.T) {
+	s := System{}
+	tc := s.TestCases(1, 9)[0]
+	golden, err := s.Run(tc, propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a high exponent bit of targetDB at the second track.
+	inject := &flipAtProbe{module: ModuleRGain, varName: "targetDB", bit: 62, activation: 2}
+	out, err := s.Run(tc, inject)
+	if err == nil && !s.Failed(tc, golden, out) {
+		t.Fatal("corrupted normalisation target should fail")
+	}
+	// A last-bit mantissa flip is absorbed by gain quantisation.
+	tiny := &flipAtProbe{module: ModuleRGain, varName: "targetDB", bit: 0, activation: 2}
+	out, err = s.Run(tc, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Failed(tc, golden, out) {
+		t.Fatal("one-ulp target corruption should be benign under stepped gain")
+	}
+}
+
+type flipAtProbe struct {
+	module     string
+	varName    string
+	bit        int
+	activation int
+	count      int
+	done       bool
+}
+
+func (p *flipAtProbe) Visit(mod string, loc propane.Location, vars []propane.VarRef) {
+	if mod != p.module || loc != propane.Entry || p.done {
+		return
+	}
+	p.count++
+	if p.count == p.activation {
+		for _, v := range vars {
+			if v.Name == p.varName {
+				_ = v.FlipBit(p.bit)
+			}
+		}
+		p.done = true
+	}
+}

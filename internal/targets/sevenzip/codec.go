@@ -1,0 +1,293 @@
+// Package sevenzip implements the 7-Zip-analog target system of the
+// paper (§VI-B): a real archiver built on a solid LZSS sliding-window
+// codec (the dictionary persists across files, as in 7-Zip's solid
+// archives), exercised by an archive-then-extract procedure over sets
+// of input files. Two modules are instrumented, matching Table II:
+// FHandle (the archive container / file handling layer) and LDecode
+// (the sliding-window match decoder).
+package sevenzip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Codec parameters. windowSize must be a power of two.
+const (
+	windowSize = 4096
+	minMatch   = 3
+	maxMatch   = 18
+	hashBits   = 12
+	maxChain   = 16
+)
+
+// Compression errors.
+var (
+	ErrCorrupt  = errors.New("sevenzip: corrupt compressed stream")
+	ErrTooLarge = errors.New("sevenzip: input exceeds supported size")
+)
+
+// compressor encodes files into LZSS token streams against a solid
+// dictionary: matches in file k may reference the tail of files < k.
+type compressor struct {
+	history []byte // up to windowSize bytes of previously encoded output
+}
+
+// compressFile encodes data with greedy LZSS: groups of eight tokens
+// share a flag byte; a set flag bit means a (distance, length) match, a
+// clear bit a literal. Matches are found through a hash-head / chain
+// table bounded by maxChain, keeping compression fast enough for large
+// fault-injection campaigns.
+func (c *compressor) compressFile(data []byte) []byte {
+	if len(data) == 0 {
+		return nil
+	}
+	// Work over history + data; emit tokens only for the data region.
+	buf := make([]byte, 0, len(c.history)+len(data))
+	buf = append(buf, c.history...)
+	buf = append(buf, data...)
+	start := len(c.history)
+
+	out := make([]byte, 0, len(data)/2+16)
+	head := make([]int32, 1<<hashBits)
+	prev := make([]int32, len(buf))
+	for i := range head {
+		head[i] = -1
+	}
+	hash := func(i int) uint32 {
+		if i+2 >= len(buf) {
+			return 0
+		}
+		h := uint32(buf[i])<<16 | uint32(buf[i+1])<<8 | uint32(buf[i+2])
+		return (h * 2654435761) >> (32 - hashBits)
+	}
+	insert := func(i int) {
+		if i+minMatch > len(buf) {
+			return
+		}
+		h := hash(i)
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+	for i := 0; i < start; i++ {
+		insert(i)
+	}
+
+	var (
+		flagPos = -1
+		flagBit = 8
+	)
+	emitFlag := func(set bool) {
+		if flagBit == 8 {
+			flagPos = len(out)
+			out = append(out, 0)
+			flagBit = 0
+		}
+		if set {
+			out[flagPos] |= 1 << uint(flagBit)
+		}
+		flagBit++
+	}
+
+	pos := start
+	for pos < len(buf) {
+		bestLen, bestDist := 0, 0
+		if pos+minMatch <= len(buf) {
+			cand := head[hash(pos)]
+			for chain := 0; cand >= 0 && chain < maxChain; chain++ {
+				cd := int(cand)
+				if pos-cd > windowSize-1 {
+					break
+				}
+				l := 0
+				maxL := maxMatch
+				if rem := len(buf) - pos; rem < maxL {
+					maxL = rem
+				}
+				for l < maxL && buf[cd+l] == buf[pos+l] {
+					l++
+				}
+				if l > bestLen {
+					bestLen, bestDist = l, pos-cd
+					if l == maxL {
+						break
+					}
+				}
+				cand = prev[cd]
+			}
+		}
+		if bestLen >= minMatch {
+			emitFlag(true)
+			// distance: 12 bits, length-minMatch: 4 bits.
+			v := uint16(bestDist)<<4 | uint16(bestLen-minMatch)
+			out = append(out, byte(v>>8), byte(v))
+			for k := 0; k < bestLen; k++ {
+				insert(pos + k)
+			}
+			pos += bestLen
+		} else {
+			emitFlag(false)
+			out = append(out, buf[pos])
+			insert(pos)
+			pos++
+		}
+	}
+
+	// Retain the dictionary tail for the next file.
+	tail := buf
+	if len(tail) > windowSize {
+		tail = tail[len(tail)-windowSize:]
+	}
+	c.history = append(c.history[:0], tail...)
+	return out
+}
+
+// decoder is the LDecode module state: a solid sliding-window decoder
+// whose variables are instrumented for fault injection. The window and
+// write position persist across files — exactly the property that makes
+// a corrupted in-range winPos produce silently wrong output rather than
+// an immediate stream error. Fields use int64 so every bit of their
+// machine representation is a potential fault site.
+type decoder struct {
+	winPos    int64 // write position within the sliding window
+	matchDist int64 // distance of the current match token
+	matchLen  int64 // length of the current match token
+	flags     int64 // current flag byte (diagnostic mirror)
+	literals  int64 // literal tokens decoded across the archive (statistics)
+	matches   int64 // match tokens decoded across the archive (statistics)
+	outCount  int64 // bytes produced for the current file
+	dictSize  int64 // window size; constant 4096 in this codec
+
+	window [windowSize]byte
+}
+
+func newDecoder() *decoder {
+	return &decoder{dictSize: windowSize}
+}
+
+// dictSizeSafe guards the wrap modulus against a corrupted dictionary
+// size: an out-of-range value wraps at 1, surviving (with garbage
+// output) instead of dividing by zero.
+func (d *decoder) dictSizeSafe() int64 {
+	if d.dictSize <= 0 || d.dictSize > int64(len(d.window)) {
+		return 1
+	}
+	return d.dictSize
+}
+
+// wrap maps any (possibly corrupted) position into the window.
+func (d *decoder) wrap(x int64) int64 {
+	ws := d.dictSizeSafe()
+	m := x % ws
+	if m < 0 {
+		m += ws
+	}
+	return m
+}
+
+// decompressFile decodes one file's LZSS stream into a buffer of
+// origSize bytes, continuing the solid dictionary. Stream reads are
+// bounds-checked so structural corruption yields a detectable error;
+// positional corruption (winPos) yields wrong output instead.
+func (d *decoder) decompressFile(comp []byte, origSize int64) ([]byte, error) {
+	if origSize < 0 || origSize > 1<<30 {
+		return nil, fmt.Errorf("%w: size %d", ErrTooLarge, origSize)
+	}
+	capHint := origSize
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	out := make([]byte, 0, capHint)
+	d.outCount = 0
+
+	pos := 0
+	var flagByte byte
+	bitsLeft := 0
+	write := func(b byte) {
+		out = append(out, b)
+		d.window[d.winPos] = b
+		d.winPos = d.wrap(d.winPos + 1)
+		d.outCount++
+	}
+	for int64(len(out)) < origSize {
+		// The write position is validated per token: a corrupted
+		// out-of-window position is structural corruption (an index
+		// bounds violation in a real decoder), while an in-window shift
+		// silently desynchronises the dictionary and produces wrong
+		// output instead.
+		if d.winPos < 0 || d.winPos >= int64(len(d.window)) {
+			return nil, fmt.Errorf("%w: window position %d out of range", ErrCorrupt, d.winPos)
+		}
+		if bitsLeft == 0 {
+			if pos >= len(comp) {
+				return nil, fmt.Errorf("%w: truncated flags", ErrCorrupt)
+			}
+			flagByte = comp[pos]
+			pos++
+			bitsLeft = 8
+			d.flags = int64(flagByte)
+		}
+		isMatch := flagByte&1 == 1
+		flagByte >>= 1
+		bitsLeft--
+		if isMatch {
+			if pos+1 >= len(comp) {
+				return nil, fmt.Errorf("%w: truncated match token", ErrCorrupt)
+			}
+			v := uint16(comp[pos])<<8 | uint16(comp[pos+1])
+			pos += 2
+			d.matchDist = int64(v >> 4)
+			d.matchLen = int64(v&0xF) + minMatch
+			d.matches++
+			if d.matchDist <= 0 || d.matchDist >= int64(windowSize) {
+				return nil, fmt.Errorf("%w: match distance %d", ErrCorrupt, d.matchDist)
+			}
+			src := d.winPos - d.matchDist
+			for k := int64(0); k < d.matchLen; k++ {
+				write(d.window[d.wrap(src+k)])
+			}
+		} else {
+			if pos >= len(comp) {
+				return nil, fmt.Errorf("%w: truncated literal", ErrCorrupt)
+			}
+			write(comp[pos])
+			pos++
+			d.literals++
+		}
+	}
+	if d.outCount != int64(len(out)) {
+		return nil, fmt.Errorf("%w: output accounting mismatch", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// crc8fnv computes the folded FNV-1a 8-bit checksum used in file
+// headers.
+func crc8fnv(data []byte) uint8 {
+	h := uint32(2166136261)
+	for _, b := range data {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	h ^= h >> 16
+	return uint8(h ^ (h >> 8))
+}
+
+// digest64 is an FNV-1a 64-bit digest used to compare run outputs.
+func digest64(parts ...[]byte) uint64 {
+	h := uint64(14695981039346656037)
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		for _, b := range lenBuf {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+		for _, b := range p {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -1,0 +1,313 @@
+package sevenzip
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"edem/internal/bitflip"
+	"edem/internal/propane"
+	"edem/internal/stats"
+)
+
+// Module names as they appear in Table II.
+const (
+	ModuleFHandle = "FHandle"
+	ModuleLDecode = "LDecode"
+)
+
+// Archive format constants.
+const (
+	archMagic     = "7ZGO"
+	headerVersion = 4
+	codecLZSS     = 3
+)
+
+// System is the 7-Zip-analog target: each run archives a set of input
+// files and then extracts them, recovering the original content
+// (paper §VI-C). FilesPerCase controls the workload size; the paper
+// uses 25 files per test case.
+type System struct {
+	// FilesPerCase is the number of files archived per test case
+	// (default 10).
+	FilesPerCase int
+	// MeanFileSize is the approximate size of each synthetic file in
+	// bytes (default 768).
+	MeanFileSize int
+}
+
+var _ propane.Target = System{}
+
+func (s System) filesPerCase() int {
+	if s.FilesPerCase <= 0 {
+		return 10
+	}
+	return s.FilesPerCase
+}
+
+func (s System) meanFileSize() int {
+	if s.MeanFileSize <= 0 {
+		return 768
+	}
+	return s.MeanFileSize
+}
+
+// Name implements propane.Target.
+func (System) Name() string { return "7-Zip" }
+
+// Modules implements propane.Target.
+func (System) Modules() []propane.ModuleInfo {
+	return []propane.ModuleInfo{
+		{
+			Name: ModuleFHandle,
+			Vars: []propane.VarDecl{
+				{Name: "fileIndex", Kind: bitflip.Int64},
+				{Name: "origSize", Kind: bitflip.Int64},
+				{Name: "compSize", Kind: bitflip.Int64},
+				{Name: "fileCRC", Kind: bitflip.Int64},
+				{Name: "archOffset", Kind: bitflip.Int64},
+				{Name: "headerVer", Kind: bitflip.Int64},
+				{Name: "codecID", Kind: bitflip.Int64},
+				{Name: "bytesIn", Kind: bitflip.Int64},
+				{Name: "bytesOut", Kind: bitflip.Int64},
+				{Name: "filesDone", Kind: bitflip.Int64},
+				{Name: "ratioPct", Kind: bitflip.Float64},
+			},
+		},
+		{
+			Name: ModuleLDecode,
+			Vars: []propane.VarDecl{
+				{Name: "winPos", Kind: bitflip.Int64},
+				{Name: "matchDist", Kind: bitflip.Int64},
+				{Name: "matchLen", Kind: bitflip.Int64},
+				{Name: "flags", Kind: bitflip.Int64},
+				{Name: "literals", Kind: bitflip.Int64},
+				{Name: "matches", Kind: bitflip.Int64},
+				{Name: "outCount", Kind: bitflip.Int64},
+				{Name: "dictSize", Kind: bitflip.Int64},
+			},
+		},
+	}
+}
+
+// TestCases implements propane.Target: each test case is a distinct set
+// of input files derived from the seed (§VI-C).
+func (System) TestCases(n int, seed uint64) []propane.TestCase {
+	tcs := make([]propane.TestCase, 0, n)
+	for i := 0; i < n; i++ {
+		tcs = append(tcs, propane.TestCase{
+			ID:   i,
+			Seed: seed ^ (uint64(i+1) * 0x9e3779b97f4a7c15),
+		})
+	}
+	return tcs
+}
+
+// Outcome is the observable output of one archive-extract run.
+type Outcome struct {
+	// ArchiveDigest summarises the produced archive bytes.
+	ArchiveDigest uint64
+	// RecoveredDigest summarises the recovered file contents.
+	RecoveredDigest uint64
+}
+
+// Failed implements propane.Target: a run fails when the archive or the
+// recovered content differs from the golden run (§VI-F).
+func (System) Failed(_ propane.TestCase, golden, observed any) bool {
+	g, ok1 := golden.(Outcome)
+	o, ok2 := observed.(Outcome)
+	if !ok1 || !ok2 {
+		return true
+	}
+	return g != o
+}
+
+// fhandle is the FHandle module state: the archive container layer.
+type fhandle struct {
+	fileIndex  int64
+	origSize   int64
+	compSize   int64
+	fileCRC    int64 // content checksum (logged, not stored in the container)
+	archOffset int64
+	headerVer  int64
+	codecID    int64
+	bytesIn    int64   // cumulative input bytes (statistics only)
+	bytesOut   int64   // cumulative output bytes (statistics only)
+	filesDone  int64   // files completed so far (statistics only)
+	ratioPct   float64 // running compression ratio (statistics only)
+}
+
+func (f *fhandle) varRefs() []propane.VarRef {
+	return []propane.VarRef{
+		propane.Int64Ref("fileIndex", &f.fileIndex),
+		propane.Int64Ref("origSize", &f.origSize),
+		propane.Int64Ref("compSize", &f.compSize),
+		propane.Int64Ref("fileCRC", &f.fileCRC),
+		propane.Int64Ref("archOffset", &f.archOffset),
+		propane.Int64Ref("headerVer", &f.headerVer),
+		propane.Int64Ref("codecID", &f.codecID),
+		propane.Int64Ref("bytesIn", &f.bytesIn),
+		propane.Int64Ref("bytesOut", &f.bytesOut),
+		propane.Int64Ref("filesDone", &f.filesDone),
+		propane.Float64Ref("ratioPct", &f.ratioPct),
+	}
+}
+
+func (d *decoder) varRefs() []propane.VarRef {
+	return []propane.VarRef{
+		propane.Int64Ref("winPos", &d.winPos),
+		propane.Int64Ref("matchDist", &d.matchDist),
+		propane.Int64Ref("matchLen", &d.matchLen),
+		propane.Int64Ref("flags", &d.flags),
+		propane.Int64Ref("literals", &d.literals),
+		propane.Int64Ref("matches", &d.matches),
+		propane.Int64Ref("outCount", &d.outCount),
+		propane.Int64Ref("dictSize", &d.dictSize),
+	}
+}
+
+// Run implements propane.Target: archive all input files, then extract
+// and verify them. FHandle activates once per file while archiving;
+// LDecode activates once per file while extracting.
+func (s System) Run(tc propane.TestCase, probe propane.Probe) (any, error) {
+	files := s.generateFiles(tc.Seed)
+
+	// --- Archiving phase (FHandle instrumented) ---
+	fh := &fhandle{headerVer: headerVersion, codecID: codecLZSS}
+	fhVars := fh.varRefs()
+	enc := &compressor{}
+	archive := make([]byte, 0, 8*1024)
+	archive = append(archive, archMagic...)
+	archive = appendU32(archive, uint32(len(files)))
+	archive = pad64(archive)
+
+	for i, data := range files {
+		// Preconditions of the per-file container step.
+		fh.fileIndex = int64(i)
+		fh.origSize = int64(len(data))
+		fh.fileCRC = int64(crc8fnv(data))
+		fh.compSize = 0
+		fh.archOffset = int64(len(archive))
+
+		probe.Visit(ModuleFHandle, propane.Entry, fhVars)
+
+		comp := enc.compressFile(data)
+		fh.compSize = int64(len(comp))
+		fh.bytesIn += fh.origSize
+		fh.bytesOut += fh.compSize
+		fh.filesDone++
+		if fh.bytesIn > 0 {
+			fh.ratioPct = 100 * float64(fh.bytesOut) / float64(fh.bytesIn)
+		}
+
+		probe.Visit(ModuleFHandle, propane.Exit, fhVars)
+
+		// The header is written from module state AFTER the exit point,
+		// so exit-time corruption propagates into the archive.
+		archive = appendU32(archive, uint32(fh.headerVer))
+		archive = appendU32(archive, uint32(fh.codecID))
+		archive = appendU64(archive, uint64(fh.origSize))
+		archive = appendU64(archive, uint64(fh.compSize))
+		archive = appendU64(archive, uint64(fh.archOffset))
+		archive = append(archive, comp...)
+		archive = pad64(archive)
+	}
+
+	// --- Extraction phase (LDecode instrumented) ---
+	dec := newDecoder()
+	decVars := dec.varRefs()
+	recovered := make([][]byte, 0, len(files))
+
+	if len(archive) < len(archMagic)+4 || string(archive[:4]) != archMagic {
+		return nil, fmt.Errorf("sevenzip: bad archive magic")
+	}
+	count := binary.LittleEndian.Uint32(archive[len(archMagic):])
+	pos := 64 // the superblock is padded to one container block
+	for i := uint32(0); i < count; i++ {
+		if pos+32 > len(archive) {
+			return nil, fmt.Errorf("sevenzip: truncated header for file %d", i)
+		}
+		ver := binary.LittleEndian.Uint32(archive[pos:])
+		codec := binary.LittleEndian.Uint32(archive[pos+4:])
+		origSize := int64(binary.LittleEndian.Uint64(archive[pos+8:]))
+		compSize := int64(binary.LittleEndian.Uint64(archive[pos+16:]))
+		offset := int64(binary.LittleEndian.Uint64(archive[pos+24:]))
+		pos += 32
+		if ver != headerVersion {
+			return nil, fmt.Errorf("sevenzip: unsupported header version %d", ver)
+		}
+		if codec != codecLZSS {
+			return nil, fmt.Errorf("sevenzip: unsupported codec %d", codec)
+		}
+		if offset != int64(pos-32) {
+			return nil, fmt.Errorf("sevenzip: bad offset %d for file %d", offset, i)
+		}
+		if compSize < 0 || int64(pos)+compSize > int64(len(archive)) {
+			return nil, fmt.Errorf("sevenzip: bad compressed size %d", compSize)
+		}
+		comp := archive[pos : int64(pos)+compSize]
+		pos += int(compSize)
+		pos = (pos + 63) / 64 * 64
+
+		probe.Visit(ModuleLDecode, propane.Entry, decVars)
+		data, err := dec.decompressFile(comp, origSize)
+		probe.Visit(ModuleLDecode, propane.Exit, decVars)
+		if err != nil {
+			return nil, fmt.Errorf("sevenzip: file %d: %w", i, err)
+		}
+		recovered = append(recovered, data)
+	}
+
+	return Outcome{
+		ArchiveDigest:   digest64(archive),
+		RecoveredDigest: digest64(recovered...),
+	}, nil
+}
+
+// generateFiles produces the deterministic synthetic file set for a
+// test case: text-like content with repeated phrases (compressible) and
+// a binary tail (less compressible), sizes varying around MeanFileSize.
+func (s System) generateFiles(seed uint64) [][]byte {
+	rng := stats.NewRNG(seed)
+	words := []string{
+		"fault", "injection", "detector", "predicate", "module",
+		"archive", "window", "decode", "entropy", "golden",
+	}
+	files := make([][]byte, s.filesPerCase())
+	for i := range files {
+		// Sizes are padded to 64-byte blocks, as the container stores
+		// block-aligned members.
+		size := s.meanFileSize()/2 + rng.Intn(s.meanFileSize())
+		size = (size + 63) / 64 * 64
+		buf := make([]byte, 0, size+16)
+		for len(buf) < size*3/4 {
+			w := words[rng.Intn(len(words))]
+			buf = append(buf, w...)
+			buf = append(buf, ' ')
+		}
+		for len(buf) < size {
+			buf = append(buf, byte(rng.Uint64()))
+		}
+		files[i] = buf
+	}
+	return files
+}
+
+// pad64 zero-pads the archive to the container's 64-byte block size.
+func pad64(b []byte) []byte {
+	for len(b)%64 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(b, tmp[:]...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(b, tmp[:]...)
+}

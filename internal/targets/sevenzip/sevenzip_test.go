@@ -1,0 +1,230 @@
+package sevenzip
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"edem/internal/propane"
+	"edem/internal/stats"
+)
+
+func roundTrip(t *testing.T, files [][]byte) {
+	t.Helper()
+	enc := &compressor{}
+	dec := newDecoder()
+	for i, data := range files {
+		comp := enc.compressFile(data)
+		got, err := dec.decompressFile(comp, int64(len(data)))
+		if err != nil {
+			t.Fatalf("file %d: decompress: %v", i, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("file %d: round trip mismatch (%d vs %d bytes)", i, len(got), len(data))
+		}
+	}
+}
+
+func TestCodecRoundTripBasics(t *testing.T) {
+	roundTrip(t, [][]byte{
+		[]byte("hello hello hello hello"),
+		[]byte("a"),
+		bytes.Repeat([]byte("abc"), 500),
+		{},
+		[]byte("the quick brown fox jumps over the lazy dog"),
+	})
+}
+
+func TestCodecRoundTripSolid(t *testing.T) {
+	// Later files reference earlier files' content through the solid
+	// dictionary; the shared phrase must still decompress correctly and
+	// compress smaller the second time.
+	phrase := bytes.Repeat([]byte("fault injection analysis "), 40)
+	enc := &compressor{}
+	c1 := enc.compressFile(phrase)
+	c2 := enc.compressFile(phrase)
+	if len(c2) >= len(c1) {
+		t.Errorf("solid dictionary gave no gain: %d then %d", len(c1), len(c2))
+	}
+	dec := newDecoder()
+	for i, comp := range [][]byte{c1, c2} {
+		got, err := dec.decompressFile(comp, int64(len(phrase)))
+		if err != nil {
+			t.Fatalf("file %d: %v", i, err)
+		}
+		if !bytes.Equal(got, phrase) {
+			t.Fatalf("file %d: mismatch", i)
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, nFiles uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nFiles%5) + 1
+		enc := &compressor{}
+		dec := newDecoder()
+		for i := 0; i < n; i++ {
+			size := rng.Intn(2000) + 1
+			data := make([]byte, size)
+			for j := range data {
+				if rng.Float64() < 0.7 {
+					data[j] = byte('a' + rng.Intn(4)) // compressible region
+				} else {
+					data[j] = byte(rng.Uint64())
+				}
+			}
+			comp := enc.compressFile(data)
+			got, err := dec.decompressFile(comp, int64(len(data)))
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecCompresses(t *testing.T) {
+	data := bytes.Repeat([]byte("abcdefgh"), 200)
+	enc := &compressor{}
+	comp := enc.compressFile(data)
+	if len(comp) >= len(data)/2 {
+		t.Errorf("compressed %d -> %d: expected at least 2x on repetitive data", len(data), len(comp))
+	}
+}
+
+func TestDecompressRejectsCorruptStreams(t *testing.T) {
+	dec := newDecoder()
+	// Truncated flags.
+	if _, err := dec.decompressFile(nil, 5); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Negative size.
+	if _, err := dec.decompressFile([]byte{0}, -1); err == nil {
+		t.Error("negative size should fail")
+	}
+	// Absurd size.
+	if _, err := dec.decompressFile([]byte{0}, 1<<40); err == nil {
+		t.Error("absurd size should fail")
+	}
+	// Match with zero distance: flag byte 0x01 then token 0x00 0x03.
+	dec2 := newDecoder()
+	if _, err := dec2.decompressFile([]byte{0x01, 0x00, 0x03}, 10); err == nil {
+		t.Error("zero-distance match should fail")
+	}
+}
+
+func TestCRC8(t *testing.T) {
+	a := crc8fnv([]byte("hello"))
+	b := crc8fnv([]byte("hellp"))
+	if a == b {
+		t.Error("single-byte change should move the checksum (for this input)")
+	}
+	if crc8fnv(nil) != crc8fnv([]byte{}) {
+		t.Error("empty inputs must agree")
+	}
+}
+
+func TestDigest64SeparatesLengths(t *testing.T) {
+	// The digest must distinguish {"ab","c"} from {"a","bc"}.
+	if digest64([]byte("ab"), []byte("c")) == digest64([]byte("a"), []byte("bc")) {
+		t.Error("digest ignores part boundaries")
+	}
+}
+
+func TestRunGoldenDeterminism(t *testing.T) {
+	s := System{}
+	tc := s.TestCases(3, 7)[1]
+	o1, err := s.Run(tc, propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.Run(tc, propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 != o2 {
+		t.Fatal("golden runs are not reproducible")
+	}
+	if s.Failed(tc, o1, o2) {
+		t.Fatal("identical outputs must not fail")
+	}
+}
+
+func TestDistinctTestCasesDiffer(t *testing.T) {
+	s := System{}
+	tcs := s.TestCases(2, 7)
+	o1, err := s.Run(tcs[0], propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := s.Run(tcs[1], propane.NopProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1 == o2 {
+		t.Fatal("distinct test cases produced identical outputs")
+	}
+}
+
+func TestModuleContract(t *testing.T) {
+	s := System{}
+	mods := s.Modules()
+	if len(mods) != 2 || mods[0].Name != ModuleFHandle || mods[1].Name != ModuleLDecode {
+		t.Fatalf("modules = %+v", mods)
+	}
+	// Probe visits occur once per file per location for both modules.
+	counts := map[visitKey]int{}
+	probe := countingProbe{counts: counts}
+	tc := s.TestCases(1, 1)[0]
+	if _, err := s.Run(tc, probe); err != nil {
+		t.Fatal(err)
+	}
+	want := s.filesPerCase()
+	for _, k := range []visitKey{
+		{ModuleFHandle, propane.Entry}, {ModuleFHandle, propane.Exit},
+		{ModuleLDecode, propane.Entry}, {ModuleLDecode, propane.Exit},
+	} {
+		if counts[k] != want {
+			t.Errorf("%s %s visited %d times, want %d", k.mod, k.loc, counts[k], want)
+		}
+	}
+}
+
+type visitKey struct {
+	mod string
+	loc propane.Location
+}
+
+type countingProbe struct {
+	counts map[visitKey]int
+}
+
+func (p countingProbe) Visit(mod string, loc propane.Location, _ []propane.VarRef) {
+	p.counts[visitKey{mod, loc}]++
+}
+
+func TestFailedTypeSafety(t *testing.T) {
+	s := System{}
+	if !s.Failed(propane.TestCase{}, "not an outcome", Outcome{}) {
+		t.Fatal("wrong golden type must count as failure")
+	}
+	if !s.Failed(propane.TestCase{}, Outcome{}, 42) {
+		t.Fatal("wrong observed type must count as failure")
+	}
+}
+
+func TestFileSizesAreBlockAligned(t *testing.T) {
+	s := System{}
+	for _, f := range s.generateFiles(123) {
+		if len(f)%64 != 0 {
+			t.Fatalf("file size %d not block aligned", len(f))
+		}
+		if len(f) == 0 {
+			t.Fatal("empty file generated")
+		}
+	}
+}
