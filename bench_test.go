@@ -380,7 +380,54 @@ func BenchmarkTables_EndToEnd(b *testing.B) {
 	}
 }
 
-var _ = fmt.Sprintf // keep fmt for ad-hoc debugging of bench output
+// Worker-scaling benchmarks for the three re-plumbed layers. Results
+// are bit-identical at every worker count (see DESIGN.md §8); on a
+// multi-core machine workers=0 (the full budget) should beat workers=1
+// roughly linearly until the fold/cell count saturates.
+
+func BenchmarkMicro_CrossValidate(b *testing.B) {
+	d := benchDataset(b, "FG-A2")
+	for _, w := range []int{1, 0} {
+		w := w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := eval.CVConfig{Folds: 10, Seed: 1, Workers: w}
+				if _, err := eval.CrossValidate(tree.Learner{}, d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRefine_Workers(b *testing.B) {
+	grid := core.RefineGrid(false)
+	d := benchDataset(b, "MG-B1")
+	for _, w := range []int{1, 0} {
+		opts := benchOpts()
+		opts.Workers = w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Refine(context.Background(), d, grid, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTables_ParallelRows measures the dataset-row fan-out added
+// on top of the per-row parallelism: three Table III rows generated
+// concurrently on the shared budget.
+func BenchmarkTables_ParallelRows(b *testing.B) {
+	opts := benchOpts()
+	ids := []string{"7Z-A1", "FG-B1", "MG-B1"}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table3Rows(context.Background(), ids, opts, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // Ablation: learnt predicate vs the golden-range executable assertion
 // (the specification-derived detector family of paper §II-A).

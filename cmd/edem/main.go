@@ -19,6 +19,7 @@ import (
 	"edem/internal/mining/attrsel"
 	"edem/internal/mining/eval"
 	"edem/internal/mining/rules"
+	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/propane"
 )
@@ -85,8 +86,20 @@ func commonOpts(fs *flag.FlagSet) *core.Options {
 	fs.Uint64Var(&opts.Seed, "seed", opts.Seed, "experiment seed")
 	fs.IntVar(&opts.TestCases, "scale", opts.TestCases, "test cases for 7Z/MG campaigns")
 	fs.IntVar(&opts.BitStride, "stride", opts.BitStride, "bit sampling stride (1 = every bit, the paper's setting)")
-	fs.IntVar(&opts.Workers, "workers", 0, "parallel workers (0 = all cores)")
+	fs.IntVar(&opts.Workers, "workers", 0, "global worker budget shared across all nesting levels (0 = all cores)")
 	return &opts
+}
+
+// parseArgs parses the subcommand flags and installs the -workers value
+// as the process-wide scheduler budget, so nested parallel sections
+// (dataset rows → CV folds → campaign runs) share one pool instead of
+// oversubscribing each other. Results never depend on the budget.
+func parseArgs(fs *flag.FlagSet, args []string, opts *core.Options) error {
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	parallel.SetBudget(opts.Workers)
+	return nil
 }
 
 func cmdTables(args []string) error {
@@ -94,7 +107,7 @@ func cmdTables(args []string) error {
 	table := fs.Int("table", 3, "table number: 2, 3 or 4")
 	full := fs.Bool("full", false, "use the paper-scale refinement grid (table 4)")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -113,33 +126,29 @@ func cmdTables(args []string) error {
 		fmt.Print(core.FormatTable2Rows(rows))
 		return nil
 	case 3:
-		var rows []core.Row
-		for _, id := range core.AllDatasetIDs() {
-			row, err := core.Table3Row(ctx, id, *opts)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(os.Stderr, "  %s done\n", id)
+		rows, err := core.Table3Rows(ctx, core.AllDatasetIDs(), *opts, tableProgress)
+		if err != nil {
+			return err
 		}
 		fmt.Print(core.FormatTable("Table III: decision tree induction results (no sampling)", rows))
 		return nil
 	case 4:
 		grid := core.RefineGrid(*full)
-		var rows []core.Row
-		for _, id := range core.AllDatasetIDs() {
-			row, err := core.Table4Row(ctx, id, grid, *opts)
-			if err != nil {
-				return err
-			}
-			rows = append(rows, row)
-			fmt.Fprintf(os.Stderr, "  %s done\n", id)
+		rows, err := core.Table4Rows(ctx, core.AllDatasetIDs(), grid, *opts, tableProgress)
+		if err != nil {
+			return err
 		}
 		fmt.Print(core.FormatTable("Table IV: decision tree induction results (refined)", rows))
 		return nil
 	default:
 		return fmt.Errorf("unknown table %d", *table)
 	}
+}
+
+// tableProgress is the stderr progress line for table generation: one
+// line per finished dataset with its per-phase wall-clock breakdown.
+func tableProgress(id string, _ core.Row, tm core.Timings) {
+	fmt.Fprintf(os.Stderr, "  %s done (%s)\n", id, tm)
 }
 
 func cmdRun(args []string) error {
@@ -149,7 +158,7 @@ func cmdRun(args []string) error {
 	save := fs.String("save", "", "write the learnt predicate (JSON) to this file")
 	report := fs.String("report", "", "write a markdown generation report to this file")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	rep, err := core.RunMethodology(context.Background(), *id, core.RefineGrid(*full), *opts)
@@ -193,7 +202,7 @@ func cmdTree(args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ContinueOnError)
 	id := fs.String("dataset", "FG-A2", "Table II dataset ID")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -221,7 +230,7 @@ func cmdInject(args []string) error {
 	csvPath := fs.String("csv", "", "write the dataset as CSV to this file")
 	showStats := fs.Bool("stats", false, "print the per-variable failure summary")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	camp, err := core.Campaign(context.Background(), *id, *opts)
@@ -268,7 +277,7 @@ func cmdValidate(args []string) error {
 	full := fs.Bool("full", false, "use the paper-scale refinement grid")
 	predPath := fs.String("pred", "", "validate this saved predicate instead of learning one")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -314,7 +323,7 @@ func cmdRules(args []string) error {
 	fs := flag.NewFlagSet("rules", flag.ContinueOnError)
 	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -353,7 +362,7 @@ func cmdLatency(args []string) error {
 	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
 	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	ctx := context.Background()
@@ -386,7 +395,7 @@ func cmdRank(args []string) error {
 	id := fs.String("dataset", "FG-B1", "Table II dataset ID")
 	method := fs.String("method", "ig", "ranking criterion: ig (info gain), gr (gain ratio), su (symmetrical uncertainty)")
 	opts := commonOpts(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args, opts); err != nil {
 		return err
 	}
 	var m attrsel.Method

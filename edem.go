@@ -33,6 +33,7 @@ import (
 	"edem/internal/mining/eval"
 	"edem/internal/mining/rules"
 	"edem/internal/mining/tree"
+	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/propane"
 )
@@ -113,6 +114,12 @@ func Refine(ctx context.Context, d *Dataset, grid []SamplingConfig, opts Options
 // RefineGrid returns the refinement search grid; full selects the
 // paper-scale grid.
 func RefineGrid(full bool) []SamplingConfig { return core.RefineGrid(full) }
+
+// SetWorkerBudget sets the process-wide worker budget shared by every
+// parallel section (campaign runs, CV folds, refinement cells, table
+// rows); n <= 0 restores the default of all cores. Results never depend
+// on the budget — only wall-clock time does.
+func SetWorkerBudget(n int) { parallel.SetBudget(n) }
 
 // RunMethodology executes Steps 1-4 for a dataset ID and extracts the
 // detector predicate.

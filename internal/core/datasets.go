@@ -34,7 +34,10 @@ import (
 type Options struct {
 	// Seed drives workload generation and fold assignment.
 	Seed uint64
-	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	// Workers bounds the parallelism of every pipeline stage —
+	// campaigns, CV folds, refinement cells, table rows all share one
+	// budget (0 = the process-wide default, all cores). Results never
+	// depend on it.
 	Workers int
 	// BitStride samples every n-th bit position (default 2; the paper
 	// uses 1).

@@ -89,8 +89,9 @@ func DefaultLearner() tree.Learner { return tree.Learner{} }
 // baseline C4.5 configuration, producing one Table III row.
 func Baseline(d *dataset.Dataset, opts Options) (*eval.CVResult, error) {
 	return eval.CrossValidate(DefaultLearner(), d, eval.CVConfig{
-		Folds: opts.folds(),
-		Seed:  opts.Seed,
+		Folds:   opts.folds(),
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
 	})
 }
 

@@ -3,12 +3,12 @@ package core
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"edem/internal/dataset"
 	"edem/internal/mining/eval"
 	"edem/internal/mining/sampling"
+	"edem/internal/parallel"
 	"edem/internal/stats"
 )
 
@@ -18,9 +18,12 @@ import (
 // configuration competes too, so refinement never reports a worse model
 // than Step 3.
 //
-// The fold loop is the outer loop: each training partition's SMOTE
-// neighbour lists are computed once and shared by every (percent, k)
-// grid point, and folds are evaluated in parallel.
+// The unit of scheduling is one (configuration, fold) cell, so
+// parallelism scales to configurations × folds workers rather than
+// stopping at the fold count. Results are bit-identical for any worker
+// count: each cell derives its RNG from (seed, fold, config) alone, and
+// the per-fold shared artifacts (training partition, SMOTE neighbour
+// index) are built once on first use and only read afterwards.
 func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts Options) (*RefineResult, error) {
 	full := append([]SamplingConfig{{Kind: NoSampling}}, grid...)
 
@@ -39,48 +42,22 @@ func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts
 		}
 	}
 
-	cells := make([][]refineCell, len(full))
-	for i := range cells {
-		cells[i] = make([]refineCell, len(folds))
-	}
+	nCfg := len(full)
+	cells := make([]refineCell, nCfg*len(folds))
+	shared := make([]foldShared, len(folds))
 
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(folds) {
-		workers = len(folds)
-	}
-	foldCh := make(chan int)
-	errCh := make(chan error, len(folds))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for fi := range foldCh {
-				if err := refineFold(d, folds[fi], full, maxK, opts, fi, cells); err != nil {
-					errCh <- fmt.Errorf("core: refine fold %d: %w", fi, err)
-					return
-				}
-			}
-		}()
-	}
-dispatch:
-	for fi := range folds {
-		select {
-		case foldCh <- fi:
-		case <-ctx.Done():
-			errCh <- ctx.Err()
-			break dispatch
+	// Cell index layout: fold-major, so the cells of one fold are
+	// adjacent in the claim order and the fold's lazily-built artifacts
+	// are hot when its remaining cells run.
+	err = parallel.ForEach(ctx, len(cells), opts.Workers, func(idx int) error {
+		fi, ci := idx/nCfg, idx%nCfg
+		if err := refineCellEval(d, folds[fi], &shared[fi], full[ci], maxK, opts, fi, ci, &cells[idx]); err != nil {
+			return fmt.Errorf("core: refine fold %d %s: %w", fi, full[ci].Label(), err)
 		}
-	}
-	close(foldCh)
-	wg.Wait()
-	select {
-	case err := <-errCh:
+		return nil
+	})
+	if err != nil {
 		return nil, err
-	default:
 	}
 
 	res := &RefineResult{}
@@ -88,11 +65,11 @@ dispatch:
 		cv := &eval.CVResult{}
 		var aucW, tprW, fprW, compW stats.Welford
 		for fi := range folds {
-			b := cells[ci][fi].counts
-			aucW.Add(b.AUC())
-			tprW.Add(b.TPR())
-			fprW.Add(b.FPR())
-			compW.Add(float64(cells[ci][fi].size))
+			cell := &cells[fi*nCfg+ci]
+			aucW.Add(cell.counts.AUC())
+			tprW.Add(cell.counts.TPR())
+			fprW.Add(cell.counts.FPR())
+			compW.Add(float64(cell.size))
 		}
 		cv.MeanAUC = aucW.Mean()
 		cv.MeanTPR = tprW.Mean()
@@ -113,62 +90,87 @@ dispatch:
 	return res, nil
 }
 
-// refineFold evaluates every configuration on one fold, filling the
-// (config, fold) cells.
 // refineCell is one (configuration, fold) evaluation.
 type refineCell struct {
 	counts eval.BinaryCounts
 	size   int
 }
 
-func refineFold(d *dataset.Dataset, fold dataset.Fold, full []SamplingConfig, maxK int, opts Options, fi int, cells [][]refineCell) error {
-	train := d.Subset(fold.Train)
+// foldShared holds the artifacts every cell of one fold reads: the
+// training partition and (when the grid contains SMOTE points) the
+// minority neighbour index. Both are built exactly once, by whichever
+// cell of the fold is scheduled first, and are immutable afterwards.
+type foldShared struct {
+	trainOnce sync.Once
+	train     *dataset.Dataset
 
-	var ni *sampling.NeighborIndex
-	if maxK > 0 {
-		var err error
-		ni, err = sampling.BuildNeighborIndex(train, eval.PositiveClass, maxK)
-		if err != nil {
-			return fmt.Errorf("neighbour index: %w", err)
+	niOnce sync.Once
+	ni     *sampling.NeighborIndex
+	niErr  error
+}
+
+func (s *foldShared) trainSet(d *dataset.Dataset, fold dataset.Fold) *dataset.Dataset {
+	s.trainOnce.Do(func() { s.train = d.Subset(fold.Train) })
+	return s.train
+}
+
+func (s *foldShared) index(train *dataset.Dataset, maxK int) (*sampling.NeighborIndex, error) {
+	s.niOnce.Do(func() {
+		s.ni, s.niErr = sampling.BuildNeighborIndex(train, eval.PositiveClass, maxK)
+		if s.niErr != nil {
+			s.niErr = fmt.Errorf("neighbour index: %w", s.niErr)
+		}
+	})
+	return s.ni, s.niErr
+}
+
+// refineCellEval evaluates one configuration on one fold. The cell RNG
+// is seeded from (seed, fold, config) so the result does not depend on
+// which worker runs the cell or in what order.
+func refineCellEval(d *dataset.Dataset, fold dataset.Fold, sh *foldShared, cfg SamplingConfig, maxK int, opts Options, fi, ci int, cell *refineCell) error {
+	train := sh.trainSet(d, fold)
+
+	rng := stats.NewRNG(opts.Seed ^ (uint64(fi+1) << 20) ^ uint64(ci+1))
+	td := train
+	var err error
+	switch cfg.Kind {
+	case Undersampling:
+		td, err = sampling.Undersample(train, 0, cfg.Percent, rng)
+	case Oversampling:
+		if maxK > 0 {
+			ni, nerr := sh.index(train, maxK)
+			if nerr != nil {
+				return nerr
+			}
+			td, err = ni.Oversample(cfg.Percent, rng)
+		} else {
+			td, err = sampling.Oversample(train, eval.PositiveClass, cfg.Percent, rng)
+		}
+	case Smote:
+		if maxK <= 0 {
+			return fmt.Errorf("smote config without neighbour index")
+		}
+		ni, nerr := sh.index(train, maxK)
+		if nerr != nil {
+			return nerr
+		}
+		td, err = ni.SMOTE(cfg.Percent, cfg.K, rng)
+	}
+	if err != nil {
+		return fmt.Errorf("transform: %w", err)
+	}
+	model, err := DefaultLearner().FitTree(td)
+	if err != nil {
+		return fmt.Errorf("fit: %w", err)
+	}
+	cm := eval.NewConfusionMatrix(d.ClassValues)
+	for _, ti := range fold.Test {
+		in := &d.Instances[ti]
+		if err := cm.Record(in.Class, model.Classify(in.Values), in.Weight); err != nil {
+			return err
 		}
 	}
-
-	learner := DefaultLearner()
-	for ci, cfg := range full {
-		rng := stats.NewRNG(opts.Seed ^ (uint64(fi+1) << 20) ^ uint64(ci+1))
-		td := train
-		var err error
-		switch cfg.Kind {
-		case Undersampling:
-			td, err = sampling.Undersample(train, 0, cfg.Percent, rng)
-		case Oversampling:
-			if ni != nil {
-				td, err = ni.Oversample(cfg.Percent, rng)
-			} else {
-				td, err = sampling.Oversample(train, eval.PositiveClass, cfg.Percent, rng)
-			}
-		case Smote:
-			if ni == nil {
-				return fmt.Errorf("smote config without neighbour index")
-			}
-			td, err = ni.SMOTE(cfg.Percent, cfg.K, rng)
-		}
-		if err != nil {
-			return fmt.Errorf("transform %s: %w", cfg.Label(), err)
-		}
-		model, err := learner.FitTree(td)
-		if err != nil {
-			return fmt.Errorf("fit %s: %w", cfg.Label(), err)
-		}
-		cm := eval.NewConfusionMatrix(d.ClassValues)
-		for _, ti := range fold.Test {
-			in := &d.Instances[ti]
-			if err := cm.Record(in.Class, model.Classify(in.Values), in.Weight); err != nil {
-				return err
-			}
-		}
-		cells[ci][fi].counts = cm.Binary(eval.PositiveClass)
-		cells[ci][fi].size = model.Size()
-	}
+	cell.counts = cm.Binary(eval.PositiveClass)
+	cell.size = model.Size()
 	return nil
 }

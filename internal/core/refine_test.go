@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"edem/internal/dataset"
+	"edem/internal/parallel"
+	"edem/internal/stats"
+)
+
+// refineDataset builds a small imbalanced two-class dataset directly,
+// so Refine's scheduling can be tested without running a campaign.
+// Class 1 (the positive/failure class) is the ~20% minority.
+func refineDataset(n int, seed uint64) *dataset.Dataset {
+	d := dataset.New("refine", []dataset.Attribute{
+		dataset.NumericAttr("x"),
+		dataset.NumericAttr("y"),
+	}, []string{"ok", "fail"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		class := 0
+		if x > 0.8 || (y > 0.9 && x > 0.3) {
+			class = 1
+		}
+		d.MustAdd(dataset.Instance{Values: []float64{x, y}, Class: class, Weight: 1})
+	}
+	return d
+}
+
+// TestRefineErrorNoDeadlock is the regression test for the worker-pool
+// error path: with every grid cell failing and more cells than workers,
+// the old pool deadlocked because a worker exiting on error stopped
+// draining the unbuffered job channel while the dispatcher kept
+// sending. Refine must instead return the error promptly.
+func TestRefineErrorNoDeadlock(t *testing.T) {
+	parallel.SetBudget(4)
+	defer parallel.SetBudget(0)
+
+	d := refineDataset(120, 1)
+	// Percent <= 0 makes every Undersampling transform fail.
+	grid := make([]SamplingConfig, 20)
+	for i := range grid {
+		grid[i] = SamplingConfig{Kind: Undersampling, Percent: -5}
+	}
+	opts := DefaultOptions()
+	opts.Folds = 5
+	opts.Workers = 2
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Refine(context.Background(), d, grid, opts)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Refine succeeded with an always-failing grid")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Refine deadlocked on the error path")
+	}
+}
+
+// TestRefineWorkerCountInvariant pins Refine's determinism contract:
+// Workers=1 and Workers=8 must produce identical results (per-cell RNGs
+// are derived from (seed, fold, config) alone; aggregation is serial).
+func TestRefineWorkerCountInvariant(t *testing.T) {
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(0)
+
+	grid := []SamplingConfig{
+		{Kind: Undersampling, Percent: 50},
+		{Kind: Oversampling, Percent: 300},
+		{Kind: Smote, Percent: 300, K: 3},
+		{Kind: Smote, Percent: 500, K: 5},
+	}
+	for _, seed := range []uint64{7, 23} {
+		d := refineDataset(200, seed)
+		opts := DefaultOptions()
+		opts.Seed = seed
+		opts.Folds = 5
+
+		opts.Workers = 1
+		serial, err := Refine(context.Background(), d, grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Workers = 8
+		par, err := Refine(context.Background(), d, grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial.Evaluated, par.Evaluated) {
+			t.Errorf("seed %d: Workers=1 and Workers=8 grid evaluations differ", seed)
+		}
+		if serial.Best != par.Best {
+			t.Errorf("seed %d: winning config differs: %+v vs %+v", seed, serial.Best, par.Best)
+		}
+	}
+}

@@ -1,10 +1,12 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"edem/internal/dataset"
 	"edem/internal/mining"
+	"edem/internal/parallel"
 	"edem/internal/stats"
 )
 
@@ -13,6 +15,11 @@ import (
 // oversampling, SMOTE) enters cross-validation. Transforms are applied
 // to training folds only; test folds always keep the natural
 // distribution, as in the paper's evaluation.
+//
+// Folds are evaluated concurrently, so a transform must be safe for
+// concurrent calls. Each fold receives its own RNG, forked from the
+// seed in fold order, so transform randomness is identical at every
+// worker count.
 type TrainTransform func(d *dataset.Dataset, rng *stats.RNG) (*dataset.Dataset, error)
 
 // CVConfig configures a cross-validation run.
@@ -25,6 +32,10 @@ type CVConfig struct {
 	Transform TrainTransform
 	// PositiveClass is the concept class index (default 1).
 	PositiveClass int
+	// Workers bounds fold parallelism for this run: 0 draws on the
+	// process-wide budget (parallel.SetBudget, default all cores),
+	// 1 forces serial evaluation. Results are identical either way.
+	Workers int
 }
 
 // FoldResult captures one fold's confusion matrix and model complexity.
@@ -66,38 +77,63 @@ func CrossValidate(l mining.Learner, d *dataset.Dataset, cfg CVConfig) (*CVResul
 		return nil, fmt.Errorf("eval: %w", err)
 	}
 
-	res := &CVResult{Pooled: NewConfusionMatrix(d.ClassValues)}
-	var aucW, tprW, fprW, compW stats.Welford
-	for fi, fold := range folds {
+	// Transform RNGs are forked serially in fold order before the folds
+	// are dispatched, so every fold sees the exact stream it saw when
+	// the loop was serial — this is what makes results independent of
+	// the worker count.
+	var rngs []*stats.RNG
+	if cfg.Transform != nil {
+		rngs = make([]*stats.RNG, len(folds))
+		for fi := range rngs {
+			rngs[fi] = rng.Fork()
+		}
+	}
+
+	// Folds are evaluated in parallel into indexed slots; all metric
+	// accumulation stays serial (below) so floating-point results match
+	// the serial loop bit for bit.
+	foldOut := make([]FoldResult, len(folds))
+	err = parallel.ForEach(context.Background(), len(folds), cfg.Workers, func(fi int) error {
+		fold := folds[fi]
 		train := d.Subset(fold.Train)
 		if cfg.Transform != nil {
-			train, err = cfg.Transform(train, rng.Fork())
-			if err != nil {
-				return nil, fmt.Errorf("eval: fold %d transform: %w", fi, err)
+			var terr error
+			train, terr = cfg.Transform(train, rngs[fi])
+			if terr != nil {
+				return fmt.Errorf("eval: fold %d transform: %w", fi, terr)
 			}
 		}
 		model, err := l.Fit(train)
 		if err != nil {
-			return nil, fmt.Errorf("eval: fold %d fit: %w", fi, err)
+			return fmt.Errorf("eval: fold %d fit: %w", fi, err)
 		}
 		cm := NewConfusionMatrix(d.ClassValues)
 		for _, ti := range fold.Test {
 			in := &d.Instances[ti]
 			pred := model.Classify(in.Values)
 			if err := cm.Record(in.Class, pred, in.Weight); err != nil {
-				return nil, fmt.Errorf("eval: fold %d: %w", fi, err)
+				return fmt.Errorf("eval: fold %d: %w", fi, err)
 			}
 		}
-		size := mining.ModelSize(model)
-		res.Folds = append(res.Folds, FoldResult{Matrix: cm, Size: size})
-		if err := res.Pooled.Merge(cm); err != nil {
+		foldOut[fi] = FoldResult{Matrix: cm, Size: mining.ModelSize(model)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &CVResult{Pooled: NewConfusionMatrix(d.ClassValues)}
+	var aucW, tprW, fprW, compW stats.Welford
+	for _, fr := range foldOut {
+		res.Folds = append(res.Folds, fr)
+		if err := res.Pooled.Merge(fr.Matrix); err != nil {
 			return nil, err
 		}
-		b := cm.Binary(cfg.PositiveClass)
+		b := fr.Matrix.Binary(cfg.PositiveClass)
 		aucW.Add(b.AUC())
 		tprW.Add(b.TPR())
 		fprW.Add(b.FPR())
-		compW.Add(float64(size))
+		compW.Add(float64(fr.Size))
 	}
 	res.MeanAUC = aucW.Mean()
 	res.MeanTPR = tprW.Mean()

@@ -2,21 +2,26 @@ package eval
 
 import (
 	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"edem/internal/dataset"
 	"edem/internal/mining"
+	"edem/internal/parallel"
 	"edem/internal/stats"
 )
 
-// stubLearner memorises nothing: it predicts the training majority.
-type stubLearner struct{ fitCalls *int }
+// stubLearner memorises nothing: it predicts the training majority. The
+// call counter is atomic because folds are fitted concurrently.
+type stubLearner struct{ fitCalls *atomic.Int64 }
 
 func (s stubLearner) Name() string { return "stub" }
 
 func (s stubLearner) Fit(d *dataset.Dataset) (mining.Classifier, error) {
 	if s.fitCalls != nil {
-		*s.fitCalls++
+		s.fitCalls.Add(1)
 	}
 	return stubClassifier(d.MajorityClass()), nil
 }
@@ -79,13 +84,13 @@ func TestCrossValidatePerfect(t *testing.T) {
 
 func TestCrossValidateFitsOncePerFold(t *testing.T) {
 	d := cvDataset(100, 2)
-	calls := 0
+	var calls atomic.Int64
 	_, err := CrossValidate(stubLearner{fitCalls: &calls}, d, CVConfig{Folds: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if calls != 5 {
-		t.Fatalf("fit called %d times, want 5", calls)
+	if calls.Load() != 5 {
+		t.Fatalf("fit called %d times, want 5", calls.Load())
 	}
 }
 
@@ -107,9 +112,12 @@ func TestCrossValidateDefaults(t *testing.T) {
 
 func TestCrossValidateTransformAppliedToTrainOnly(t *testing.T) {
 	d := cvDataset(100, 4)
+	var mu sync.Mutex
 	var trainSizes []int
 	tf := func(train *dataset.Dataset, _ *stats.RNG) (*dataset.Dataset, error) {
+		mu.Lock()
 		trainSizes = append(trainSizes, train.Len())
+		mu.Unlock()
 		// Duplicate the training set; the test partition must stay at
 		// its natural size, keeping the pooled total invariant.
 		out := train.Clone()
@@ -151,6 +159,41 @@ func TestCrossValidateDeterminism(t *testing.T) {
 	}
 	if r1.MeanAUC != r2.MeanAUC || r1.MeanComp != r2.MeanComp {
 		t.Fatal("same-seed cross-validations differ")
+	}
+}
+
+// TestCrossValidateWorkerCountInvariant pins the scheduler contract:
+// serial and parallel evaluation produce bit-identical results, because
+// transform RNGs are forked in fold order before dispatch and all
+// aggregation stays serial. The transform consumes fold randomness so a
+// fork-order bug would change the outcome.
+func TestCrossValidateWorkerCountInvariant(t *testing.T) {
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(0)
+	tf := func(train *dataset.Dataset, rng *stats.RNG) (*dataset.Dataset, error) {
+		// Randomly drop ~20% of the training instances.
+		out := train.Clone()
+		out.Instances = out.Instances[:0]
+		for i := range train.Instances {
+			if rng.Float64() < 0.8 {
+				out.Instances = append(out.Instances, train.Instances[i].Clone())
+			}
+		}
+		return out, nil
+	}
+	for _, seed := range []uint64{3, 11} {
+		d := cvDataset(150, seed)
+		serial, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 8, Seed: seed, Transform: tf, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 8, Seed: seed, Transform: tf, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("seed %d: Workers=1 and Workers=8 results differ", seed)
+		}
 	}
 }
 

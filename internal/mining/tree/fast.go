@@ -13,6 +13,14 @@ import (
 // dominates induction cost on large fault-injection datasets. Datasets
 // with missing values fall back to the general builder, which handles
 // fractional instance weights.
+//
+// A second cost on large campaigns is allocation churn: the refinement
+// grid induces thousands of trees per dataset, so per-node garbage adds
+// up. The builder therefore keeps split-scan scratch (class
+// distributions, candidate splits, branch counters) on the builder and
+// partitions nodes count-then-fill into single arena allocations
+// instead of per-child append chains. A builder is used by one
+// goroutine; fold- and grid-level parallelism each construct their own.
 
 // hasMissing reports whether any instance value is missing.
 func hasMissing(d *dataset.Dataset) bool {
@@ -33,6 +41,20 @@ type fastBuilder struct {
 	classes  []int
 	weights  []float64
 	nClasses int
+	nNumeric int // numeric attribute count: sorted-order slabs per node
+
+	// Split-scan scratch, reused across bestSplit calls. Safe because a
+	// node's best split is fully consumed (partition + node labelling)
+	// before any child recursion runs the next scan.
+	leftBuf   []float64
+	rightBuf  []float64
+	branchBuf []float64 // flat [nVals*nClasses] nominal class counts
+	branchW   []float64
+	splitBuf  []split  // cap len(Attrs): addresses stay stable
+	candBuf   []*split // views into splitBuf for selectSplit
+	countBuf  []int    // per-branch row counts
+	startBuf  []int    // per-branch arena offsets
+	fillBuf   []int    // per-branch fill cursors
 }
 
 // fastNode is the per-node view: row ids, plus per-numeric-attribute row
@@ -52,12 +74,18 @@ func newFastBuilder(cfg Config, d *dataset.Dataset) *fastBuilder {
 		weights:  make([]float64, n),
 		nClasses: len(d.ClassValues),
 	}
+	maxBranches := 2
 	for a := range d.Attrs {
 		col := make([]float64, n)
 		for i := range d.Instances {
 			col[i] = d.Instances[i].Values[a]
 		}
 		fb.cols[a] = col
+		if d.Attrs[a].Type == dataset.Numeric {
+			fb.nNumeric++
+		} else if v := len(d.Attrs[a].Values); v > maxBranches {
+			maxBranches = v
+		}
 	}
 	for i := range d.Instances {
 		fb.classes[i] = d.Instances[i].Class
@@ -67,6 +95,15 @@ func newFastBuilder(cfg Config, d *dataset.Dataset) *fastBuilder {
 		}
 		fb.weights[i] = w
 	}
+	fb.leftBuf = make([]float64, fb.nClasses)
+	fb.rightBuf = make([]float64, fb.nClasses)
+	fb.branchBuf = make([]float64, maxBranches*fb.nClasses)
+	fb.branchW = make([]float64, 0, maxBranches)
+	fb.splitBuf = make([]split, 0, len(d.Attrs))
+	fb.candBuf = make([]*split, 0, len(d.Attrs))
+	fb.countBuf = make([]int, maxBranches)
+	fb.startBuf = make([]int, maxBranches)
+	fb.fillBuf = make([]int, maxBranches)
 	return fb
 }
 
@@ -90,6 +127,8 @@ func (fb *fastBuilder) rootNode() *fastNode {
 	return nd
 }
 
+// distribution allocates a fresh class distribution — the result escapes
+// into Node.Dist, so it cannot come from scratch.
 func (fb *fastBuilder) distribution(rows []int32) []float64 {
 	dist := make([]float64, fb.nClasses)
 	for _, r := range rows {
@@ -117,8 +156,8 @@ func (fb *fastBuilder) build(nd *fastNode, depthSoFar int) *Node {
 
 	children := fb.partition(nd, best)
 	strong := 0
-	for _, ch := range children {
-		if fb.weightOfRows(ch.rows) >= fb.cfg.minLeaf() {
+	for i := range children {
+		if fb.weightOfRows(children[i].rows) >= fb.cfg.minLeaf() {
 			strong++
 		}
 	}
@@ -129,12 +168,12 @@ func (fb *fastBuilder) build(nd *fastNode, depthSoFar int) *Node {
 	node.Attr = best.attr
 	node.Threshold = best.threshold
 	node.Children = make([]*Node, len(children))
-	for i, ch := range children {
-		if len(ch.rows) == 0 {
+	for i := range children {
+		if len(children[i].rows) == 0 {
 			node.Children[i] = &Node{Attr: -1, Dist: make([]float64, fb.nClasses), Class: node.Class}
 			continue
 		}
-		node.Children[i] = fb.build(ch, depthSoFar+1)
+		node.Children[i] = fb.build(&children[i], depthSoFar+1)
 	}
 	return node
 }
@@ -147,32 +186,41 @@ func (fb *fastBuilder) weightOfRows(rows []int32) float64 {
 	return w
 }
 
+// bestSplit scans every attribute, collecting candidates into the
+// builder's split scratch. The returned pointer aims into splitBuf and
+// is only valid until the next bestSplit call.
 func (fb *fastBuilder) bestSplit(nd *fastNode, dist []float64, totalW float64) *split {
-	candidates := make([]*split, 0, len(fb.d.Attrs))
+	fb.splitBuf = fb.splitBuf[:0]
+	fb.candBuf = fb.candBuf[:0]
 	for a := range fb.d.Attrs {
-		var s *split
+		var s split
+		var ok bool
 		if fb.d.Attrs[a].Type == dataset.Numeric {
-			s = fb.numericSplit(nd.sorted[a], a, dist, totalW)
+			ok = fb.numericSplit(nd.sorted[a], a, dist, totalW, &s)
 		} else {
-			s = fb.nominalSplit(nd.rows, a, dist, totalW)
+			ok = fb.nominalSplit(nd.rows, a, dist, totalW, &s)
 		}
-		if s != nil && s.gain > 1e-12 {
-			candidates = append(candidates, s)
+		if ok && s.gain > 1e-12 {
+			fb.splitBuf = append(fb.splitBuf, s)
+			fb.candBuf = append(fb.candBuf, &fb.splitBuf[len(fb.splitBuf)-1])
 		}
 	}
-	return selectSplit(candidates, fb.cfg.PlainGain)
+	return selectSplit(fb.candBuf, fb.cfg.PlainGain)
 }
 
-// numericSplit scans the pre-sorted rows of a numeric attribute.
-func (fb *fastBuilder) numericSplit(sorted []int32, attr int, dist []float64, totalW float64) *split {
+// numericSplit scans the pre-sorted rows of a numeric attribute, writing
+// the winning split into out. It reports whether a split was found.
+func (fb *fastBuilder) numericSplit(sorted []int32, attr int, dist []float64, totalW float64, out *split) bool {
 	if len(sorted) < 2 {
-		return nil
+		return false
 	}
 	col := fb.cols[attr]
 	baseEntropy := entropy(dist)
 
-	left := make([]float64, fb.nClasses)
-	right := make([]float64, fb.nClasses)
+	left, right := fb.leftBuf, fb.rightBuf
+	for i := range left {
+		left[i] = 0
+	}
 	copy(right, dist)
 
 	var (
@@ -205,40 +253,44 @@ func (fb *fastBuilder) numericSplit(sorted []int32, attr int, dist []float64, to
 		}
 	}
 	if bestGain < 0 {
-		return nil
+		return false
 	}
 	gain := bestGain
 	if !fb.cfg.NoMDLPenalty && distinct > 1 {
 		gain -= math.Log2(float64(distinct-1)) / totalW
 	}
 	if gain <= 0 {
-		return nil
+		return false
 	}
 	si := splitInfo([]float64{bestLeftW, totalW - bestLeftW}, totalW)
 	gr := gain
 	if si > 1e-12 {
 		gr = gain / si
 	}
-	return &split{attr: attr, threshold: bestThresh, gain: gain, gainRatio: gr}
+	*out = split{attr: attr, threshold: bestThresh, gain: gain, gainRatio: gr}
+	return true
 }
 
-func (fb *fastBuilder) nominalSplit(rows []int32, attr int, dist []float64, totalW float64) *split {
+// nominalSplit evaluates a multi-way nominal split into out, counting
+// branch distributions in the builder's flat scratch.
+func (fb *fastBuilder) nominalSplit(rows []int32, attr int, dist []float64, totalW float64, out *split) bool {
 	nVals := len(fb.d.Attrs[attr].Values)
 	if nVals < 2 {
-		return nil
+		return false
 	}
-	branch := make([][]float64, nVals)
-	for i := range branch {
-		branch[i] = make([]float64, fb.nClasses)
+	flat := fb.branchBuf[:nVals*fb.nClasses]
+	for i := range flat {
+		flat[i] = 0
 	}
 	col := fb.cols[attr]
 	for _, r := range rows {
-		branch[int(col[r])][fb.classes[r]] += fb.weights[r]
+		flat[int(col[r])*fb.nClasses+fb.classes[r]] += fb.weights[r]
 	}
 	nonEmpty := 0
 	childEntropy := 0.0
-	branchW := make([]float64, 0, nVals)
-	for _, bd := range branch {
+	branchW := fb.branchW[:0]
+	for b := 0; b < nVals; b++ {
+		bd := flat[b*fb.nClasses : (b+1)*fb.nClasses]
 		w := sum(bd)
 		branchW = append(branchW, w)
 		if w > 0 {
@@ -247,23 +299,28 @@ func (fb *fastBuilder) nominalSplit(rows []int32, attr int, dist []float64, tota
 		}
 	}
 	if nonEmpty < 2 {
-		return nil
+		return false
 	}
 	childEntropy /= totalW
 	gain := entropy(dist) - childEntropy
 	if gain <= 0 {
-		return nil
+		return false
 	}
 	si := splitInfo(branchW, totalW)
 	gr := gain
 	if si > 1e-12 {
 		gr = gain / si
 	}
-	return &split{attr: attr, gain: gain, gainRatio: gr}
+	*out = split{attr: attr, gain: gain, gainRatio: gr}
+	return true
 }
 
 // partition splits the node preserving every attribute's sort order.
-func (fb *fastBuilder) partition(nd *fastNode, s *split) []*fastNode {
+// Branch sizes are counted first, then every child's row list and
+// per-attribute sort order are carved out of one arena: three
+// allocations per node (arena, headers, child nodes) in place of
+// per-child append chains that each re-grow logarithmically.
+func (fb *fastBuilder) partition(nd *fastNode, s *split) []fastNode {
 	numeric := fb.d.Attrs[s.attr].Type == dataset.Numeric
 	nBranches := 2
 	if !numeric {
@@ -280,24 +337,59 @@ func (fb *fastBuilder) partition(nd *fastNode, s *split) []*fastNode {
 		return int(col[r])
 	}
 
-	children := make([]*fastNode, nBranches)
-	for b := range children {
-		children[b] = &fastNode{sorted: make([][]int32, len(fb.d.Attrs))}
+	counts := fb.countBuf[:nBranches]
+	for b := range counts {
+		counts[b] = 0
 	}
 	for _, r := range nd.rows {
-		b := branchOf(r)
-		children[b].rows = append(children[b].rows, r)
+		counts[branchOf(r)]++
 	}
-	for a := range fb.d.Attrs {
+	starts := fb.startBuf[:nBranches]
+	off := 0
+	for b := range counts {
+		starts[b] = off
+		off += counts[b]
+	}
+
+	n := len(nd.rows)
+	nAttrs := len(fb.d.Attrs)
+	// One arena backs the row lists and every numeric attribute's sort
+	// order; hdrs backs each child's per-attribute slice table.
+	arena := make([]int32, n*(1+fb.nNumeric))
+	hdrs := make([][]int32, nBranches*nAttrs)
+	nodes := make([]fastNode, nBranches)
+
+	rowsArena := arena[:n]
+	for b := range nodes {
+		nodes[b].rows = rowsArena[starts[b] : starts[b]+counts[b]]
+		nodes[b].sorted = hdrs[b*nAttrs : (b+1)*nAttrs]
+	}
+	fill := fb.fillBuf[:nBranches]
+	copy(fill, starts)
+	for _, r := range nd.rows {
+		b := branchOf(r)
+		rowsArena[fill[b]] = r
+		fill[b]++
+	}
+
+	slabOff := n
+	for a := 0; a < nAttrs; a++ {
 		if nd.sorted[a] == nil {
 			continue
 		}
+		slab := arena[slabOff : slabOff+n]
+		slabOff += n
+		copy(fill, starts)
 		for _, r := range nd.sorted[a] {
 			b := branchOf(r)
-			children[b].sorted[a] = append(children[b].sorted[a], r)
+			slab[fill[b]] = r
+			fill[b]++
+		}
+		for b := range nodes {
+			nodes[b].sorted[a] = slab[starts[b] : starts[b]+counts[b]]
 		}
 	}
-	return children
+	return nodes
 }
 
 // selectSplit applies C4.5's rule: among candidates whose gain is at

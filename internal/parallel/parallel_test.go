@@ -1,0 +1,234 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withBudget runs f under an explicit global budget and restores the
+// default afterwards, so tests behave identically on 1-core CI and
+// 32-core laptops.
+func withBudget(t *testing.T, n int, f func()) {
+	t.Helper()
+	SetBudget(n)
+	defer SetBudget(0)
+	f()
+}
+
+func TestWorkersResolution(t *testing.T) {
+	withBudget(t, 8, func() {
+		cases := []struct {
+			requested, jobs, want int
+		}{
+			{0, 100, 8}, // 0 = global budget
+			{0, 3, 3},   // clamped to jobs
+			{4, 100, 4}, // explicit request
+			{4, 2, 2},   // explicit request clamped to jobs
+			{-1, 5, 5},  // negative = budget, clamped
+			{2, 0, 2},   // jobs unknown: request passes through
+			{0, 0, 8},   // both defaulted
+		}
+		for _, c := range cases {
+			if got := Workers(c.requested, c.jobs); got != c.want {
+				t.Errorf("Workers(%d, %d) = %d, want %d", c.requested, c.jobs, got, c.want)
+			}
+		}
+	})
+	withBudget(t, 0, func() {
+		if got := Workers(0, 1<<30); got != runtime.GOMAXPROCS(0) {
+			t.Errorf("default budget = %d, want GOMAXPROCS", got)
+		}
+	})
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	withBudget(t, 8, func() {
+		const n = 1000
+		counts := make([]int32, n)
+		if err := ForEach(context.Background(), n, 0, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("index %d executed %d times", i, c)
+			}
+		}
+	})
+}
+
+// TestForEachErrorNoDeadlock is the scheduler-level regression test for
+// the old worker-pool deadlock: with every job failing and far more
+// jobs than workers, the old channel pool wedged forever once all
+// workers had exited; the claim-counter scheduler must return promptly.
+func TestForEachErrorNoDeadlock(t *testing.T) {
+	withBudget(t, 4, func() {
+		boom := errors.New("boom")
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEach(context.Background(), 500, 4, func(i int) error {
+				return fmt.Errorf("job %d: %w", i, boom)
+			})
+		}()
+		select {
+		case err := <-done:
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want wrapped boom", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("ForEach deadlocked on the all-failing workload")
+		}
+	})
+}
+
+func TestForEachStopsClaimingAfterError(t *testing.T) {
+	withBudget(t, 1, func() { // serial: deterministic claim order
+		var ran int32
+		err := ForEach(context.Background(), 100, 1, func(i int) error {
+			atomic.AddInt32(&ran, 1)
+			if i == 3 {
+				return errors.New("stop here")
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		if got := atomic.LoadInt32(&ran); got != 4 {
+			t.Fatalf("ran %d jobs after serial failure at index 3, want 4", got)
+		}
+	})
+}
+
+func TestForEachReturnsSmallestFailingIndex(t *testing.T) {
+	withBudget(t, 8, func() {
+		err := ForEach(context.Background(), 64, 8, func(i int) error {
+			if i%2 == 1 {
+				return fmt.Errorf("odd %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		// Index 1 always runs (claimed before any failure can halt
+		// claiming), so the min-index rule must surface it.
+		if err.Error() != "odd 1" {
+			t.Fatalf("err = %v, want the smallest failing index (odd 1)", err)
+		}
+	})
+}
+
+func TestForEachContextCancel(t *testing.T) {
+	withBudget(t, 2, func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := ForEach(ctx, 1<<20, 2, func(i int) error {
+			if atomic.AddInt32(&ran, 1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if atomic.LoadInt32(&ran) >= 1<<20 {
+			t.Fatal("cancellation did not stop the loop early")
+		}
+	})
+}
+
+// TestForEachNestingRespectsBudget drives a 3-level nest and checks the
+// peak number of concurrently running innermost bodies never exceeds
+// the global budget. Each leaf body occupies one goroutine for its full
+// duration, so leaf concurrency equals busy-goroutine concurrency —
+// the quantity the budget bounds (1 root + budget-1 helpers).
+func TestForEachNestingRespectsBudget(t *testing.T) {
+	const budget = 4
+	withBudget(t, budget, func() {
+		var cur, peak int64
+		err := ForEach(context.Background(), 6, 0, func(int) error {
+			return ForEach(context.Background(), 6, 0, func(int) error {
+				return ForEach(context.Background(), 6, 0, func(int) error {
+					c := atomic.AddInt64(&cur, 1)
+					for {
+						p := atomic.LoadInt64(&peak)
+						if c <= p || atomic.CompareAndSwapInt64(&peak, p, c) {
+							break
+						}
+					}
+					time.Sleep(100 * time.Microsecond)
+					atomic.AddInt64(&cur, -1)
+					return nil
+				})
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := atomic.LoadInt64(&peak); p > budget {
+			t.Fatalf("peak leaf concurrency %d exceeds global budget %d", p, budget)
+		}
+	})
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	for _, n := range []int{0, -5} {
+		if err := ForEach(context.Background(), n, 4, func(int) error {
+			called = true
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if called {
+		t.Fatal("fn called for empty job set")
+	}
+}
+
+func TestForEachHelperTokensReleased(t *testing.T) {
+	withBudget(t, 8, func() {
+		for round := 0; round < 50; round++ {
+			if err := ForEach(context.Background(), 32, 0, func(int) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if h := helpers.Load(); h != 0 {
+			t.Fatalf("leaked %d helper tokens", h)
+		}
+	})
+}
+
+func TestForEachDeterministicResultSlots(t *testing.T) {
+	// Indexed writes make results order-independent: run the same
+	// workload at several worker counts and compare.
+	compute := func(workers int) []int {
+		out := make([]int, 200)
+		if err := ForEach(context.Background(), len(out), workers, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	withBudget(t, 8, func() {
+		ref := compute(1)
+		for _, w := range []int{2, 8} {
+			got := compute(w)
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("workers=%d: slot %d = %d, want %d", w, i, got[i], ref[i])
+				}
+			}
+		}
+	})
+}

@@ -4,10 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"edem/internal/bitflip"
+	"edem/internal/parallel"
 )
 
 // Spec configures one fault-injection campaign, producing one dataset in
@@ -30,7 +29,8 @@ type Spec struct {
 	TestCases int
 	// Seed drives test-case generation.
 	Seed uint64
-	// Workers bounds campaign parallelism; 0 means GOMAXPROCS.
+	// Workers bounds campaign parallelism; 0 draws on the process-wide
+	// scheduler budget (parallel.SetBudget, default all cores).
 	Workers int
 	// BitStride samples every BitStride-th bit position (1 = every bit,
 	// the paper's configuration). Larger strides scale campaigns down
@@ -203,41 +203,17 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 		}
 	}
 
+	// Injected runs are independent, so they fan out on the shared
+	// scheduler; indexed writes keep records in job order regardless of
+	// scheduling, and spec.Workers (0 = the global budget) bounds this
+	// campaign's share of it.
 	records := make([]Record, len(jobs))
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(jobs) && len(jobs) > 0 {
-		workers = len(jobs)
-	}
-
-	jobCh := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobCh {
-				j := jobs[idx]
-				records[idx] = runInjected(target, spec, mod, tcs[j.tcIdx], golden[j.tcIdx], j.varIdx, j.bit, j.time)
-			}
-		}()
-	}
-	var ctxErr error
-dispatch:
-	for idx := range jobs {
-		select {
-		case jobCh <- idx:
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break dispatch
-		}
-	}
-	close(jobCh)
-	wg.Wait()
-	if ctxErr != nil {
-		return nil, fmt.Errorf("propane: campaign cancelled: %w", ctxErr)
+	if err := parallel.ForEach(ctx, len(jobs), spec.Workers, func(idx int) error {
+		j := jobs[idx]
+		records[idx] = runInjected(target, spec, mod, tcs[j.tcIdx], golden[j.tcIdx], j.varIdx, j.bit, j.time)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("propane: campaign cancelled: %w", err)
 	}
 
 	varNames := make([]string, len(mod.Vars))
