@@ -31,6 +31,7 @@ import (
 	"edem/internal/mining/tree"
 	"edem/internal/predicate"
 	"edem/internal/stats"
+	"edem/internal/telemetry"
 )
 
 // benchOpts returns the campaign scale used by the benchmarks.
@@ -117,7 +118,7 @@ func BenchmarkTable3_BaselineInduction(b *testing.B) {
 			d := benchDataset(b, id)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				cv, err := core.Baseline(d, opts)
+				cv, err := core.Baseline(context.Background(), d, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -215,7 +216,7 @@ func BenchmarkAblation_SplitCriterion(b *testing.B) {
 		tt := tt
 		b.Run(tt.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cv, err := eval.CrossValidate(tree.Learner{Config: tt.cfg}, d, eval.CVConfig{Folds: 10, Seed: 1})
+				cv, err := eval.CrossValidate(context.Background(), tree.Learner{Config: tt.cfg}, d, eval.CVConfig{Folds: 10, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,7 +244,7 @@ func BenchmarkAblation_Pruning(b *testing.B) {
 		tt := tt
 		b.Run(tt.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cv, err := eval.CrossValidate(tree.Learner{Config: tt.cfg}, d, eval.CVConfig{Folds: 10, Seed: 1})
+				cv, err := eval.CrossValidate(context.Background(), tree.Learner{Config: tt.cfg}, d, eval.CVConfig{Folds: 10, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -273,7 +274,7 @@ func BenchmarkAblation_SMOTEvsReplacement(b *testing.B) {
 		tt := tt
 		b.Run(tt.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cv, err := eval.CrossValidate(tree.Learner{}, d, eval.CVConfig{Folds: 10, Seed: 1, Transform: tt.tf})
+				cv, err := eval.CrossValidate(context.Background(), tree.Learner{}, d, eval.CVConfig{Folds: 10, Seed: 1, Transform: tt.tf})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -304,7 +305,7 @@ func BenchmarkAblation_LearnerComparison(b *testing.B) {
 		l := l
 		b.Run(l.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				cv, err := eval.CrossValidate(l, d, eval.CVConfig{Folds: 5, Seed: 1})
+				cv, err := eval.CrossValidate(context.Background(), l, d, eval.CVConfig{Folds: 5, Seed: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -392,7 +393,7 @@ func BenchmarkMicro_CrossValidate(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := eval.CVConfig{Folds: 10, Seed: 1, Workers: w}
-				if _, err := eval.CrossValidate(tree.Learner{}, d, cfg); err != nil {
+				if _, err := eval.CrossValidate(context.Background(), tree.Learner{}, d, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -441,4 +442,47 @@ func BenchmarkAblation_RangeCheckEA(b *testing.B) {
 		b.ReportMetric(cmp.RangeCheck.AUC(), "EA-AUC")
 		b.ReportMetric(cmp.Learned.AUC(), "learned-AUC")
 	}
+}
+
+// BenchmarkTelemetryOverhead quantifies the cost of the telemetry layer
+// around the hot tree-induction loop in its three states: no telemetry
+// calls at all, the instrumented code path with telemetry disabled (the
+// nil-registry fast path every library consumer pays), and a live
+// registry. The disabled path is required to stay within 2% of the
+// uninstrumented baseline; EXPERIMENTS.md records the measurements.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	d := benchDataset(b, "FG-A2")
+	induce := func(b *testing.B) {
+		if _, err := core.DefaultLearner().FitTree(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// instrumented mirrors the pipeline's per-unit pattern: hoisted
+	// metric handles, a span around the work, a histogram observation
+	// and a counter increment per iteration.
+	instrumented := func(b *testing.B, ctx context.Context) {
+		reg := telemetry.FromContext(ctx)
+		trees := reg.Counter("bench.trees_induced")
+		fitNS := reg.Histogram("bench.fit_ns")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, span := telemetry.StartSpan(ctx, "fit")
+			induce(b)
+			fitNS.Observe(int64(span.End()))
+			trees.Inc()
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			induce(b)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		telemetry.SetDefault(nil)
+		instrumented(b, context.Background())
+	})
+	b.Run("enabled", func(b *testing.B) {
+		reg := telemetry.New()
+		instrumented(b, telemetry.WithRegistry(context.Background(), reg))
+	})
 }

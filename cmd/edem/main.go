@@ -10,8 +10,12 @@ package main
 
 import (
 	"context"
+	_ "expvar" // /debug/vars on the -debug-addr server
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on the -debug-addr server
 	"os"
 
 	"edem/internal/core"
@@ -22,6 +26,7 @@ import (
 	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/propane"
+	"edem/internal/telemetry"
 )
 
 func main() {
@@ -78,38 +83,108 @@ commands:
   rules     -dataset ID                                   learn a PRISM rule-induction predicate instead
   rank      -dataset ID [-method ig|gr|su]                rank the module variables by class information
   list                                                    list Table II dataset IDs
+
+common flags (all commands): -seed N -scale N -stride N -workers N
+telemetry:  -metrics-out FILE   write a JSON metrics snapshot on exit
+            -trace              print the phase span tree to stderr
+            -debug-addr ADDR    serve pprof + expvar (e.g. localhost:6060)
 `)
 }
 
-func commonOpts(fs *flag.FlagSet) *core.Options {
+func commonOpts(fs *flag.FlagSet) (*core.Options, *telemetryCfg) {
 	opts := core.DefaultOptions()
 	fs.Uint64Var(&opts.Seed, "seed", opts.Seed, "experiment seed")
 	fs.IntVar(&opts.TestCases, "scale", opts.TestCases, "test cases for 7Z/MG campaigns")
 	fs.IntVar(&opts.BitStride, "stride", opts.BitStride, "bit sampling stride (1 = every bit, the paper's setting)")
 	fs.IntVar(&opts.Workers, "workers", 0, "global worker budget shared across all nesting levels (0 = all cores)")
-	return &opts
+	tel := &telemetryCfg{}
+	fs.StringVar(&tel.metricsOut, "metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
+	fs.BoolVar(&tel.trace, "trace", false, "print the phase span tree to stderr on exit")
+	fs.StringVar(&tel.debugAddr, "debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	return &opts, tel
 }
 
-// parseArgs parses the subcommand flags and installs the -workers value
-// as the process-wide scheduler budget, so nested parallel sections
-// (dataset rows → CV folds → campaign runs) share one pool instead of
-// oversubscribing each other. Results never depend on the budget.
-func parseArgs(fs *flag.FlagSet, args []string, opts *core.Options) error {
+// parseArgs parses the subcommand flags, installs the -workers value
+// as the process-wide scheduler budget (so nested parallel sections —
+// dataset rows → CV folds → campaign runs — share one pool instead of
+// oversubscribing each other; results never depend on the budget), and
+// starts telemetry collection when any observability flag asks for it.
+// Callers must `defer tel.finish()` after a successful parse.
+func parseArgs(fs *flag.FlagSet, args []string, opts *core.Options, tel *telemetryCfg) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	parallel.SetBudget(opts.Workers)
+	return tel.start()
+}
+
+// telemetryCfg carries the cross-cutting observability flags shared by
+// every subcommand and owns the registry lifecycle: created in start(),
+// reported and uninstalled in finish().
+type telemetryCfg struct {
+	metricsOut string
+	trace      bool
+	debugAddr  string
+	reg        *telemetry.Registry
+}
+
+// expvarPublished guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests drive run() repeatedly in one process.
+var expvarPublished bool
+
+func (t *telemetryCfg) start() error {
+	if t.metricsOut == "" && !t.trace && t.debugAddr == "" {
+		telemetry.SetDefault(nil)
+		return nil
+	}
+	t.reg = telemetry.New()
+	telemetry.SetDefault(t.reg)
+	if t.debugAddr != "" {
+		if !expvarPublished {
+			expvarPublished = true
+			telemetry.PublishExpvar("edem")
+		}
+		ln, err := net.Listen("tcp", t.debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics at /debug/vars)\n", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
 	return nil
+}
+
+// finish reports the collected telemetry (span tree on stderr, JSON
+// snapshot to -metrics-out) and uninstalls the registry.
+func (t *telemetryCfg) finish() {
+	if t.reg == nil {
+		return
+	}
+	snap := t.reg.Snapshot()
+	if t.trace {
+		fmt.Fprint(os.Stderr, snap.FormatTree())
+	}
+	if t.metricsOut != "" {
+		err := writeFile(t.metricsOut, func(f *os.File) error { return snap.WriteJSON(f) })
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edem: metrics snapshot:", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "wrote metrics:", t.metricsOut)
+		}
+	}
+	telemetry.SetDefault(nil)
+	t.reg = nil
 }
 
 func cmdTables(args []string) error {
 	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
 	table := fs.Int("table", 3, "table number: 2, 3 or 4")
 	full := fs.Bool("full", false, "use the paper-scale refinement grid (table 4)")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	ctx := context.Background()
 	switch *table {
 	case 1:
@@ -146,9 +221,10 @@ func cmdTables(args []string) error {
 }
 
 // tableProgress is the stderr progress line for table generation: one
-// line per finished dataset with its per-phase wall-clock breakdown.
-func tableProgress(id string, _ core.Row, tm core.Timings) {
-	fmt.Fprintf(os.Stderr, "  %s done (%s)\n", id, tm)
+// line per finished dataset. Per-phase cost attribution now comes from
+// the telemetry layer (-trace / -metrics-out).
+func tableProgress(id string, _ core.Row) {
+	fmt.Fprintf(os.Stderr, "  %s done\n", id)
 }
 
 func cmdRun(args []string) error {
@@ -157,10 +233,11 @@ func cmdRun(args []string) error {
 	full := fs.Bool("full", false, "use the paper-scale refinement grid")
 	save := fs.String("save", "", "write the learnt predicate (JSON) to this file")
 	report := fs.String("report", "", "write a markdown generation report to this file")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	rep, err := core.RunMethodology(context.Background(), *id, core.RefineGrid(*full), *opts)
 	if err != nil {
 		return err
@@ -201,10 +278,11 @@ func printReport(rep *core.Report) {
 func cmdTree(args []string) error {
 	fs := flag.NewFlagSet("tree", flag.ContinueOnError)
 	id := fs.String("dataset", "FG-A2", "Table II dataset ID")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	ctx := context.Background()
 	d, _, err := core.BuildDataset(ctx, *id, *opts)
 	if err != nil {
@@ -229,11 +307,13 @@ func cmdInject(args []string) error {
 	arffPath := fs.String("arff", "", "write the ARFF dataset to this file")
 	csvPath := fs.String("csv", "", "write the dataset as CSV to this file")
 	showStats := fs.Bool("stats", false, "print the per-variable failure summary")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
-	camp, err := core.Campaign(context.Background(), *id, *opts)
+	defer tel.finish()
+	ctx := context.Background()
+	camp, err := core.Campaign(ctx, *id, *opts)
 	if err != nil {
 		return err
 	}
@@ -249,7 +329,7 @@ func cmdInject(args []string) error {
 		fmt.Println("wrote PROPANE log:", *logPath)
 	}
 	if *arffPath != "" {
-		d, err := core.Preprocess(camp)
+		d, err := core.Preprocess(ctx, camp)
 		if err != nil {
 			return err
 		}
@@ -259,7 +339,7 @@ func cmdInject(args []string) error {
 		fmt.Println("wrote ARFF dataset:", *arffPath)
 	}
 	if *csvPath != "" {
-		d, err := core.Preprocess(camp)
+		d, err := core.Preprocess(ctx, camp)
 		if err != nil {
 			return err
 		}
@@ -276,10 +356,11 @@ func cmdValidate(args []string) error {
 	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
 	full := fs.Bool("full", false, "use the paper-scale refinement grid")
 	predPath := fs.String("pred", "", "validate this saved predicate instead of learning one")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	ctx := context.Background()
 	var pred *predicate.Predicate
 	var cvTPR, cvFPR float64
@@ -322,17 +403,18 @@ func cmdValidate(args []string) error {
 func cmdRules(args []string) error {
 	fs := flag.NewFlagSet("rules", flag.ContinueOnError)
 	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	ctx := context.Background()
 	d, _, err := core.BuildDataset(ctx, *id, *opts)
 	if err != nil {
 		return err
 	}
 	learner := rules.PRISM{}
-	cv, err := eval.CrossValidate(learner, d, eval.CVConfig{Folds: opts.Folds, Seed: opts.Seed})
+	cv, err := eval.CrossValidate(ctx, learner, d, eval.CVConfig{Folds: opts.Folds, Seed: opts.Seed})
 	if err != nil {
 		return err
 	}
@@ -361,10 +443,11 @@ func cmdRules(args []string) error {
 func cmdLatency(args []string) error {
 	fs := flag.NewFlagSet("latency", flag.ContinueOnError)
 	id := fs.String("dataset", "MG-B1", "Table II dataset ID")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	ctx := context.Background()
 	d, _, err := core.BuildDataset(ctx, *id, *opts)
 	if err != nil {
@@ -394,10 +477,11 @@ func cmdRank(args []string) error {
 	fs := flag.NewFlagSet("rank", flag.ContinueOnError)
 	id := fs.String("dataset", "FG-B1", "Table II dataset ID")
 	method := fs.String("method", "ig", "ranking criterion: ig (info gain), gr (gain ratio), su (symmetrical uncertainty)")
-	opts := commonOpts(fs)
-	if err := parseArgs(fs, args, opts); err != nil {
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
 	}
+	defer tel.finish()
 	var m attrsel.Method
 	switch *method {
 	case "ig":

@@ -36,6 +36,7 @@ import (
 	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/propane"
+	"edem/internal/telemetry"
 )
 
 // Re-exported core types. See the internal packages for full details:
@@ -101,10 +102,14 @@ func RunCampaign(ctx context.Context, target Target, spec Spec) (*CampaignResult
 }
 
 // Preprocess runs Step 2: campaign log to mining dataset.
-func Preprocess(c *CampaignResult) (*Dataset, error) { return core.Preprocess(c) }
+func Preprocess(ctx context.Context, c *CampaignResult) (*Dataset, error) {
+	return core.Preprocess(ctx, c)
+}
 
 // Baseline runs Step 3: baseline C4.5 under stratified 10-fold CV.
-func Baseline(d *Dataset, opts Options) (*CVResult, error) { return core.Baseline(d, opts) }
+func Baseline(ctx context.Context, d *Dataset, opts Options) (*CVResult, error) {
+	return core.Baseline(ctx, d, opts)
+}
 
 // Refine runs Step 4 over a sampling grid.
 func Refine(ctx context.Context, d *Dataset, grid []SamplingConfig, opts Options) (*RefineResult, error) {
@@ -120,6 +125,54 @@ func RefineGrid(full bool) []SamplingConfig { return core.RefineGrid(full) }
 // rows); n <= 0 restores the default of all cores. Results never depend
 // on the budget — only wall-clock time does.
 func SetWorkerBudget(n int) { parallel.SetBudget(n) }
+
+// Telemetry types. A Metrics registry collects counters, gauges,
+// histograms and phase-span aggregates from every instrumented pipeline
+// stage; a MetricsSnapshot is its consistent point-in-time export.
+type (
+	// Metrics is a telemetry registry. The nil registry is valid and
+	// absorbs all operations at near-zero cost (the disabled fast path).
+	Metrics = telemetry.Registry
+	// MetricsSnapshot is a JSON-serialisable registry export.
+	MetricsSnapshot = telemetry.Snapshot
+	// PhaseSpan measures one timed pipeline phase; see StartSpan.
+	PhaseSpan = telemetry.Span
+)
+
+// NewMetrics returns a fresh, unattached registry — pass it through
+// WithTelemetry to collect metrics for one experiment without touching
+// the process default.
+func NewMetrics() *Metrics { return telemetry.New() }
+
+// EnableTelemetry installs a fresh process-default registry and returns
+// it. Every pipeline stage that is not given a context-local registry
+// via WithTelemetry reports into the process default.
+func EnableTelemetry() *Metrics {
+	r := telemetry.New()
+	telemetry.SetDefault(r)
+	return r
+}
+
+// DisableTelemetry removes the process-default registry, restoring the
+// near-zero-overhead disabled path.
+func DisableTelemetry() { telemetry.SetDefault(nil) }
+
+// Telemetry returns the process-default registry, or nil when disabled.
+func Telemetry() *Metrics { return telemetry.Default() }
+
+// WithTelemetry attaches a registry to the context; pipeline stages
+// called with the returned context report into r instead of the process
+// default. Context-local registries isolate concurrent experiments.
+func WithTelemetry(ctx context.Context, r *Metrics) context.Context {
+	return telemetry.WithRegistry(ctx, r)
+}
+
+// StartSpan opens a named telemetry phase (nested under any phase
+// already on ctx). Close it with span.End(); when telemetry is disabled
+// it returns ctx unchanged and a nil (no-op) span.
+func StartSpan(ctx context.Context, name string) (context.Context, *PhaseSpan) {
+	return telemetry.StartSpan(ctx, name)
+}
 
 // RunMethodology executes Steps 1-4 for a dataset ID and extracts the
 // detector predicate.
@@ -197,9 +250,10 @@ type NopProbe = propane.NopProbe
 func Chain(probes ...Probe) Probe { return propane.Chain(probes...) }
 
 // CrossValidate runs stratified k-fold cross-validation of any learner
-// on a dataset; see internal/mining for the Learner interface.
-func CrossValidate(l mining.Learner, d *Dataset, cfg eval.CVConfig) (*CVResult, error) {
-	return eval.CrossValidate(l, d, cfg)
+// on a dataset; see internal/mining for the Learner interface. The ctx
+// cancels fold evaluation and carries the telemetry registry, if any.
+func CrossValidate(ctx context.Context, l mining.Learner, d *Dataset, cfg eval.CVConfig) (*CVResult, error) {
+	return eval.CrossValidate(ctx, l, d, cfg)
 }
 
 // PredicateFromTree extracts the DNF detection predicate from an

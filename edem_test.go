@@ -40,11 +40,11 @@ func TestFacadeCampaignToPredicate(t *testing.T) {
 		t.Fatal("no per-variable stats")
 	}
 
-	d, err := Preprocess(camp)
+	d, err := Preprocess(ctx, camp)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cv, err := Baseline(d, opts)
+	cv, err := Baseline(ctx, d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestFacadeFormatsRoundTrip(t *testing.T) {
 	if len(got.Records) != len(camp.Records) {
 		t.Fatal("log round trip lost records")
 	}
-	d, err := Preprocess(camp)
+	d, err := Preprocess(ctx, camp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,5 +148,56 @@ func TestFacadeDetectorLifecycle(t *testing.T) {
 	det := NewDetector("RGain", Entry, rep.Predicate)
 	if det == nil || det.Module != "RGain" {
 		t.Fatal("detector construction")
+	}
+}
+
+// TestFacadeTelemetry exercises the telemetry surface of the facade:
+// process-default registry lifecycle, context-local registries, and
+// the snapshot export of an instrumented pipeline stage.
+func TestFacadeTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign; skipped in -short mode")
+	}
+	if Telemetry() != nil {
+		t.Fatal("telemetry should start disabled")
+	}
+	reg := EnableTelemetry()
+	defer DisableTelemetry()
+	if Telemetry() != reg {
+		t.Fatal("EnableTelemetry did not install the registry")
+	}
+
+	ctx := context.Background()
+	camp, err := Campaign(ctx, "MG-B1", smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Preprocess(ctx, camp); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["campaign.runs_injected"] == 0 {
+		t.Error("campaign.runs_injected not counted")
+	}
+	if snap.Phases["campaign"].Count != 1 || snap.Phases["preprocess"].Count != 1 {
+		t.Errorf("phases = %v", snap.Phases)
+	}
+
+	// A context-local registry wins over the process default: spans on
+	// the scoped context land in it, not in reg.
+	local := NewMetrics()
+	lctx, span := StartSpan(WithTelemetry(ctx, local), "facade-span")
+	_ = lctx
+	span.End()
+	if got := local.Snapshot().Phases["facade-span"].Count; got != 1 {
+		t.Errorf("context-local span count = %d, want 1", got)
+	}
+	if _, ok := reg.Snapshot().Phases["facade-span"]; ok {
+		t.Error("context-local span leaked into the default registry")
+	}
+
+	DisableTelemetry()
+	if Telemetry() != nil {
+		t.Fatal("DisableTelemetry left a registry installed")
 	}
 }

@@ -147,12 +147,12 @@ func run() error {
 	}
 	fmt.Printf("campaign: %d injected runs, %d failures\n", camp.Usable(), camp.Failures())
 
-	d, err := edem.Preprocess(camp)
+	d, err := edem.Preprocess(context.Background(), camp)
 	if err != nil {
 		return err
 	}
 	opts := edem.DefaultOptions()
-	cv, err := edem.Baseline(d, opts)
+	cv, err := edem.Baseline(context.Background(), d, opts)
 	if err != nil {
 		return err
 	}

@@ -29,11 +29,11 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		d, err := edem.Preprocess(camp)
+		d, err := edem.Preprocess(ctx, camp)
 		if err != nil {
 			return err
 		}
-		cv, err := edem.Baseline(d, opts)
+		cv, err := edem.Baseline(ctx, d, opts)
 		if err != nil {
 			return err
 		}
@@ -48,7 +48,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	d, err := edem.Preprocess(camp)
+	d, err := edem.Preprocess(ctx, camp)
 	if err != nil {
 		return err
 	}

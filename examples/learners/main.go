@@ -73,7 +73,7 @@ func run() error {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "learner\tTPR\tFPR\tAUC\tComp\tsymbolic predicate?")
 	for _, l := range learners {
-		cv, err := edem.CrossValidate(l, d, eval.CVConfig{Folds: 10, Seed: opts.Seed})
+		cv, err := edem.CrossValidate(context.Background(), l, d, eval.CVConfig{Folds: 10, Seed: opts.Seed})
 		if err != nil {
 			return fmt.Errorf("%s: %w", l.Name(), err)
 		}

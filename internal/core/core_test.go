@@ -225,7 +225,7 @@ func TestRefineMatchesBaselineOnNoSampling(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Baseline(d, opts)
+	base, err := Baseline(context.Background(), d, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

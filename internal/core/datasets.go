@@ -24,6 +24,7 @@ import (
 	"edem/internal/targets/flightgear"
 	"edem/internal/targets/mp3gain"
 	"edem/internal/targets/sevenzip"
+	"edem/internal/telemetry"
 )
 
 // Options scales and seeds the experiment suite. The paper's campaigns
@@ -218,12 +219,19 @@ func Campaign(ctx context.Context, id string, opts Options) (*propane.Campaign, 
 // Preprocess runs Step 2's format transformation: the campaign log
 // becomes a mining dataset (the PROPANE → ARFF conversion of §VII-B).
 // Class-imbalance handling is deferred to the cross-validation
-// transforms of Steps 3-4, as the paper does.
-func Preprocess(c *propane.Campaign) (*dataset.Dataset, error) {
+// transforms of Steps 3-4, as the paper does. The conversion is
+// recorded as a "preprocess" telemetry phase with the emitted instance
+// count in preprocess.instances.
+func Preprocess(ctx context.Context, c *propane.Campaign) (*dataset.Dataset, error) {
+	ctx, span := telemetry.StartSpan(ctx, "preprocess")
+	defer span.End()
 	d, err := propane.ToDataset(c)
 	if err != nil {
 		return nil, fmt.Errorf("core: preprocess %s: %w", c.Spec.Dataset, err)
 	}
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("preprocess.instances").Add(int64(d.Len()))
+	reg.Counter("preprocess.attributes").Add(int64(len(d.Attrs)))
 	return d, nil
 }
 
@@ -233,7 +241,7 @@ func BuildDataset(ctx context.Context, id string, opts Options) (*dataset.Datase
 	if err != nil {
 		return nil, nil, err
 	}
-	d, err := Preprocess(c)
+	d, err := Preprocess(ctx, c)
 	if err != nil {
 		return nil, nil, err
 	}

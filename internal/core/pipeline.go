@@ -10,6 +10,7 @@ import (
 	"edem/internal/mining/tree"
 	"edem/internal/predicate"
 	"edem/internal/stats"
+	"edem/internal/telemetry"
 )
 
 // SamplingKind selects the imbalance treatment of a refinement
@@ -86,9 +87,13 @@ func (c SamplingConfig) Transform() eval.TrainTransform {
 func DefaultLearner() tree.Learner { return tree.Learner{} }
 
 // Baseline runs Step 3: stratified k-fold cross-validation of the
-// baseline C4.5 configuration, producing one Table III row.
-func Baseline(d *dataset.Dataset, opts Options) (*eval.CVResult, error) {
-	return eval.CrossValidate(DefaultLearner(), d, eval.CVConfig{
+// baseline C4.5 configuration, producing one Table III row. The run is
+// recorded as a "baseline" telemetry phase (with the cross-validation
+// nested under it as "baseline/crossval").
+func Baseline(ctx context.Context, d *dataset.Dataset, opts Options) (*eval.CVResult, error) {
+	ctx, span := telemetry.StartSpan(ctx, "baseline")
+	defer span.End()
+	return eval.CrossValidate(ctx, DefaultLearner(), d, eval.CVConfig{
 		Folds:   opts.folds(),
 		Seed:    opts.Seed,
 		Workers: opts.Workers,
@@ -169,7 +174,7 @@ func RunMethodology(ctx context.Context, id string, grid []SamplingConfig, opts 
 // RunMethodologyOn runs Steps 3-4 on an already-built dataset and fits
 // the final predicate.
 func RunMethodologyOn(ctx context.Context, id string, d *dataset.Dataset, failures int, grid []SamplingConfig, opts Options) (*Report, error) {
-	baseline, err := Baseline(d, opts)
+	baseline, err := Baseline(ctx, d, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline %s: %w", id, err)
 	}

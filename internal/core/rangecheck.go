@@ -49,7 +49,7 @@ func CompareWithRangeCheckEA(ctx context.Context, id string, slack float64, opts
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign %s: %w", id, err)
 	}
-	d, err := Preprocess(camp)
+	d, err := Preprocess(ctx, camp)
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"edem/internal/mining/sampling"
 	"edem/internal/parallel"
 	"edem/internal/stats"
+	"edem/internal/telemetry"
 )
 
 // Refine runs Step 4: every grid configuration is cross-validated on
@@ -25,6 +26,8 @@ import (
 // the per-fold shared artifacts (training partition, SMOTE neighbour
 // index) are built once on first use and only read afterwards.
 func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts Options) (*RefineResult, error) {
+	ctx, span := telemetry.StartSpan(ctx, "refine")
+	defer span.End()
 	full := append([]SamplingConfig{{Kind: NoSampling}}, grid...)
 
 	// Folds must match Baseline: same RNG construction as
@@ -46,14 +49,23 @@ func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts
 	cells := make([]refineCell, nCfg*len(folds))
 	shared := make([]foldShared, len(folds))
 
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("refine.grid_configs").Add(int64(nCfg))
+	cellsScored := reg.Counter("refine.cells_scored")
+	cellNS := reg.Histogram("refine.cell_ns")
+
 	// Cell index layout: fold-major, so the cells of one fold are
 	// adjacent in the claim order and the fold's lazily-built artifacts
 	// are hot when its remaining cells run.
 	err = parallel.ForEach(ctx, len(cells), opts.Workers, func(idx int) error {
+		_, cellSpan := telemetry.StartSpan(ctx, "cell")
 		fi, ci := idx/nCfg, idx%nCfg
 		if err := refineCellEval(d, folds[fi], &shared[fi], full[ci], maxK, opts, fi, ci, &cells[idx]); err != nil {
+			cellSpan.End()
 			return fmt.Errorf("core: refine fold %d %s: %w", fi, full[ci].Label(), err)
 		}
+		cellNS.Observe(int64(cellSpan.End()))
+		cellsScored.Inc()
 		return nil
 	})
 	if err != nil {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"edem/internal/mining/eval"
 	"edem/internal/parallel"
@@ -35,111 +34,68 @@ func rowFromCV(id string, cv *eval.CVResult) Row {
 	}
 }
 
-// Timings records the wall-clock cost of each methodology phase for one
-// dataset row, so table progress output (and BENCH trajectories) can
-// attribute a regression to the phase that caused it.
-type Timings struct {
-	// Campaign covers Steps 1-2: fault injection plus preprocessing.
-	Campaign time.Duration
-	// Baseline covers Step 3 (Table III cross-validation).
-	Baseline time.Duration
-	// Refine covers Step 4 (the sampling grid search), zero for
-	// Table III rows.
-	Refine time.Duration
-}
-
-func (t Timings) String() string {
-	s := fmt.Sprintf("campaign %s", t.Campaign.Round(time.Millisecond))
-	if t.Baseline > 0 {
-		s += fmt.Sprintf(", baseline %s", t.Baseline.Round(time.Millisecond))
-	}
-	if t.Refine > 0 {
-		s += fmt.Sprintf(", refine %s", t.Refine.Round(time.Millisecond))
-	}
-	return s
-}
-
-// Table3Row runs Steps 1-3 for one dataset and returns its Table III row.
+// Table3Row runs Steps 1-3 for one dataset and returns its Table III
+// row. Per-phase cost attribution comes from the telemetry layer (the
+// "campaign", "preprocess" and "baseline" phases), not from the row
+// builder.
 func Table3Row(ctx context.Context, id string, opts Options) (Row, error) {
-	row, _, err := Table3RowTimed(ctx, id, opts)
-	return row, err
-}
-
-// Table3RowTimed is Table3Row with per-phase wall-clock timings.
-func Table3RowTimed(ctx context.Context, id string, opts Options) (Row, Timings, error) {
-	var tm Timings
-	start := time.Now()
 	d, _, err := BuildDataset(ctx, id, opts)
-	tm.Campaign = time.Since(start)
 	if err != nil {
-		return Row{}, tm, err
+		return Row{}, err
 	}
-	start = time.Now()
-	cv, err := Baseline(d, opts)
-	tm.Baseline = time.Since(start)
+	cv, err := Baseline(ctx, d, opts)
 	if err != nil {
-		return Row{}, tm, err
+		return Row{}, err
 	}
-	return rowFromCV(id, cv), tm, nil
+	return rowFromCV(id, cv), nil
 }
 
 // Table4Row runs Steps 1-4 for one dataset and returns its Table IV row.
 func Table4Row(ctx context.Context, id string, grid []SamplingConfig, opts Options) (Row, error) {
-	row, _, err := Table4RowTimed(ctx, id, grid, opts)
-	return row, err
-}
-
-// Table4RowTimed is Table4Row with per-phase wall-clock timings.
-func Table4RowTimed(ctx context.Context, id string, grid []SamplingConfig, opts Options) (Row, Timings, error) {
-	var tm Timings
-	start := time.Now()
 	d, _, err := BuildDataset(ctx, id, opts)
-	tm.Campaign = time.Since(start)
 	if err != nil {
-		return Row{}, tm, err
+		return Row{}, err
 	}
-	start = time.Now()
 	ref, err := Refine(ctx, d, grid, opts)
-	tm.Refine = time.Since(start)
 	if err != nil {
-		return Row{}, tm, err
+		return Row{}, err
 	}
 	row := rowFromCV(id, ref.BestCV)
 	row.S = ref.Best.Label()
 	row.N = ref.Best.KLabel()
-	return row, tm, nil
+	return row, nil
 }
 
 // Table3Rows computes the Table III rows of ids concurrently on the
 // shared scheduler, preserving ids order in the result. progress, if
 // non-nil, is called once per finished dataset (serialized, but not in
 // any guaranteed order — datasets finish as they complete).
-func Table3Rows(ctx context.Context, ids []string, opts Options, progress func(id string, row Row, tm Timings)) ([]Row, error) {
-	return tableRows(ctx, ids, opts, progress, func(id string) (Row, Timings, error) {
-		return Table3RowTimed(ctx, id, opts)
+func Table3Rows(ctx context.Context, ids []string, opts Options, progress func(id string, row Row)) ([]Row, error) {
+	return tableRows(ctx, ids, opts, progress, func(id string) (Row, error) {
+		return Table3Row(ctx, id, opts)
 	})
 }
 
 // Table4Rows computes the Table IV rows of ids concurrently on the
 // shared scheduler, preserving ids order in the result.
-func Table4Rows(ctx context.Context, ids []string, grid []SamplingConfig, opts Options, progress func(id string, row Row, tm Timings)) ([]Row, error) {
-	return tableRows(ctx, ids, opts, progress, func(id string) (Row, Timings, error) {
-		return Table4RowTimed(ctx, id, grid, opts)
+func Table4Rows(ctx context.Context, ids []string, grid []SamplingConfig, opts Options, progress func(id string, row Row)) ([]Row, error) {
+	return tableRows(ctx, ids, opts, progress, func(id string) (Row, error) {
+		return Table4Row(ctx, id, grid, opts)
 	})
 }
 
-func tableRows(ctx context.Context, ids []string, opts Options, progress func(string, Row, Timings), one func(string) (Row, Timings, error)) ([]Row, error) {
+func tableRows(ctx context.Context, ids []string, opts Options, progress func(string, Row), one func(string) (Row, error)) ([]Row, error) {
 	rows := make([]Row, len(ids))
 	var mu sync.Mutex
 	err := parallel.ForEach(ctx, len(ids), opts.Workers, func(i int) error {
-		row, tm, err := one(ids[i])
+		row, err := one(ids[i])
 		if err != nil {
 			return err
 		}
 		rows[i] = row
 		if progress != nil {
 			mu.Lock()
-			progress(ids[i], row, tm)
+			progress(ids[i], row)
 			mu.Unlock()
 		}
 		return nil

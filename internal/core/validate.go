@@ -6,6 +6,7 @@ import (
 
 	"edem/internal/mining/eval"
 	"edem/internal/predicate"
+	"edem/internal/telemetry"
 )
 
 // ValidationResult is the outcome of re-validating a deployed detector
@@ -29,6 +30,8 @@ type ValidationResult struct {
 // commensurate with the rates presented"). Pass a different opts.Seed
 // to measure generalisation to an unseen workload instead.
 func ValidateDetector(ctx context.Context, id string, pred *predicate.Predicate, opts Options) (*ValidationResult, error) {
+	ctx, span := telemetry.StartSpan(ctx, "validate")
+	defer span.End()
 	camp, err := Campaign(ctx, id, opts)
 	if err != nil {
 		return nil, err
@@ -55,5 +58,8 @@ func ValidateDetector(ctx context.Context, id string, pred *predicate.Predicate,
 	if res.Runs == 0 {
 		return nil, fmt.Errorf("core: validation campaign %s produced no sampled runs", id)
 	}
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("validate.runs").Add(int64(res.Runs))
+	reg.Counter("validate.flagged").Add(int64(res.Counts.TP + res.Counts.FP))
 	return res, nil
 }

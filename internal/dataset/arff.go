@@ -195,6 +195,8 @@ func parseDataRow(d *Dataset, line string, lineNo int) error {
 }
 
 // takeToken splits off the first whitespace- or quote-delimited token.
+// Inside quotes a backslash escapes the next byte (the form
+// quoteIfNeeded emits); the returned token is unescaped.
 func takeToken(s string) (token, rest string, err error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -203,8 +205,11 @@ func takeToken(s string) (token, rest string, err error) {
 	if s[0] == '\'' || s[0] == '"' {
 		q := s[0]
 		for i := 1; i < len(s); i++ {
-			if s[i] == q {
-				return s[1:i], s[i+1:], nil
+			switch s[i] {
+			case '\\':
+				i++ // skip the escaped byte
+			case q:
+				return unescape(s[1:i]), s[i+1:], nil
 			}
 		}
 		return "", "", fmt.Errorf("unterminated quote")
@@ -218,6 +223,8 @@ func takeToken(s string) (token, rest string, err error) {
 }
 
 // splitCSV splits on commas while respecting single/double quotes.
+// Inside quotes a backslash escapes the next byte, so escaped quote
+// characters neither close the quote nor allow a split.
 func splitCSV(s string) []string {
 	var parts []string
 	var sb strings.Builder
@@ -226,6 +233,12 @@ func splitCSV(s string) []string {
 		c := s[i]
 		switch {
 		case quote != 0:
+			if c == '\\' && i+1 < len(s) {
+				sb.WriteByte(c)
+				i++
+				sb.WriteByte(s[i])
+				continue
+			}
 			if c == quote {
 				quote = 0
 			}
@@ -244,9 +257,15 @@ func splitCSV(s string) []string {
 	return parts
 }
 
+// quoteIfNeeded wraps values containing ARFF metacharacters in single
+// quotes, backslash-escaping backslashes and single quotes so the
+// reader's escape-aware scanners (takeToken, splitCSV, unquote) recover
+// the value byte-for-byte.
 func quoteIfNeeded(s string) string {
-	if s == "" || strings.ContainsAny(s, " ,\t{}%'\"") {
-		return "'" + strings.ReplaceAll(s, "'", "\\'") + "'"
+	if s == "" || strings.ContainsAny(s, " ,\t{}%'\"\\") {
+		s = strings.ReplaceAll(s, `\`, `\\`)
+		s = strings.ReplaceAll(s, "'", `\'`)
+		return "'" + s + "'"
 	}
 	return s
 }
@@ -254,9 +273,25 @@ func quoteIfNeeded(s string) string {
 func unquote(s string) string {
 	if len(s) >= 2 {
 		if (s[0] == '\'' && s[len(s)-1] == '\'') || (s[0] == '"' && s[len(s)-1] == '"') {
-			inner := s[1 : len(s)-1]
-			return strings.ReplaceAll(inner, "\\'", "'")
+			return unescape(s[1 : len(s)-1])
 		}
 	}
 	return s
+}
+
+// unescape resolves backslash escapes left-to-right; a ReplaceAll pair
+// would corrupt adjacent escapes (`\\` followed by `\'`).
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		sb.WriteByte(s[i])
+	}
+	return sb.String()
 }

@@ -3,11 +3,13 @@ package eval
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"edem/internal/dataset"
 	"edem/internal/mining"
 	"edem/internal/parallel"
 	"edem/internal/stats"
+	"edem/internal/telemetry"
 )
 
 // TrainTransform rewrites a training partition before learning — the
@@ -63,8 +65,14 @@ type CVResult struct {
 // dataset d (paper §VII-C: "the data was partitioned into 10 stratified
 // samples; for each cross validation run, one of the partitions was
 // used as the test sample whilst the other nine were used as the
-// training set").
-func CrossValidate(l mining.Learner, d *dataset.Dataset, cfg CVConfig) (*CVResult, error) {
+// training set"). ctx bounds the fold fan-out (cancellation stops
+// claiming folds) and carries the active telemetry registry: every call
+// records a "crossval" span nested under the caller's phase, one
+// eval.folds_evaluated count per fold and the per-fold wall-clock
+// distribution in eval.fold_ns.
+func CrossValidate(ctx context.Context, l mining.Learner, d *dataset.Dataset, cfg CVConfig) (*CVResult, error) {
+	ctx, span := telemetry.StartSpan(ctx, "crossval")
+	defer span.End()
 	if cfg.Folds == 0 {
 		cfg.Folds = 10
 	}
@@ -91,9 +99,18 @@ func CrossValidate(l mining.Learner, d *dataset.Dataset, cfg CVConfig) (*CVResul
 
 	// Folds are evaluated in parallel into indexed slots; all metric
 	// accumulation stays serial (below) so floating-point results match
-	// the serial loop bit for bit.
+	// the serial loop bit for bit. The telemetry handles are hoisted out
+	// of the loop: with telemetry disabled they are nil and each update
+	// is one predictable branch.
+	reg := telemetry.FromContext(ctx)
+	foldsEvaluated := reg.Counter("eval.folds_evaluated")
+	foldNS := reg.Histogram("eval.fold_ns")
 	foldOut := make([]FoldResult, len(folds))
-	err = parallel.ForEach(context.Background(), len(folds), cfg.Workers, func(fi int) error {
+	err = parallel.ForEach(ctx, len(folds), cfg.Workers, func(fi int) error {
+		var foldStart time.Time
+		if reg != nil {
+			foldStart = time.Now()
+		}
 		fold := folds[fi]
 		train := d.Subset(fold.Train)
 		if cfg.Transform != nil {
@@ -116,6 +133,10 @@ func CrossValidate(l mining.Learner, d *dataset.Dataset, cfg CVConfig) (*CVResul
 			}
 		}
 		foldOut[fi] = FoldResult{Matrix: cm, Size: mining.ModelSize(model)}
+		foldsEvaluated.Inc()
+		if reg != nil {
+			foldNS.ObserveDuration(time.Since(foldStart))
+		}
 		return nil
 	})
 	if err != nil {

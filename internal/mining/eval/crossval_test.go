@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"sync"
@@ -64,7 +65,7 @@ func cvDataset(n int, seed uint64) *dataset.Dataset {
 
 func TestCrossValidatePerfect(t *testing.T) {
 	d := cvDataset(200, 1)
-	res, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 10, Seed: 1})
+	res, err := CrossValidate(context.Background(), perfectLearner{}, d, CVConfig{Folds: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestCrossValidatePerfect(t *testing.T) {
 func TestCrossValidateFitsOncePerFold(t *testing.T) {
 	d := cvDataset(100, 2)
 	var calls atomic.Int64
-	_, err := CrossValidate(stubLearner{fitCalls: &calls}, d, CVConfig{Folds: 5, Seed: 1})
+	_, err := CrossValidate(context.Background(), stubLearner{fitCalls: &calls}, d, CVConfig{Folds: 5, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestCrossValidateFitsOncePerFold(t *testing.T) {
 
 func TestCrossValidateDefaults(t *testing.T) {
 	d := cvDataset(100, 3)
-	res, err := CrossValidate(stubLearner{}, d, CVConfig{})
+	res, err := CrossValidate(context.Background(), stubLearner{}, d, CVConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestCrossValidateTransformAppliedToTrainOnly(t *testing.T) {
 		}
 		return out, nil
 	}
-	res, err := CrossValidate(stubLearner{}, d, CVConfig{Folds: 10, Seed: 1, Transform: tf})
+	res, err := CrossValidate(context.Background(), stubLearner{}, d, CVConfig{Folds: 10, Seed: 1, Transform: tf})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,18 +143,18 @@ func TestCrossValidateTransformError(t *testing.T) {
 	d := cvDataset(50, 5)
 	wantErr := errors.New("boom")
 	tf := func(*dataset.Dataset, *stats.RNG) (*dataset.Dataset, error) { return nil, wantErr }
-	if _, err := CrossValidate(stubLearner{}, d, CVConfig{Folds: 5, Transform: tf}); !errors.Is(err, wantErr) {
+	if _, err := CrossValidate(context.Background(), stubLearner{}, d, CVConfig{Folds: 5, Transform: tf}); !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestCrossValidateDeterminism(t *testing.T) {
 	d := cvDataset(120, 6)
-	r1, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 6, Seed: 9})
+	r1, err := CrossValidate(context.Background(), perfectLearner{}, d, CVConfig{Folds: 6, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 6, Seed: 9})
+	r2, err := CrossValidate(context.Background(), perfectLearner{}, d, CVConfig{Folds: 6, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,11 +184,11 @@ func TestCrossValidateWorkerCountInvariant(t *testing.T) {
 	}
 	for _, seed := range []uint64{3, 11} {
 		d := cvDataset(150, seed)
-		serial, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 8, Seed: seed, Transform: tf, Workers: 1})
+		serial, err := CrossValidate(context.Background(), perfectLearner{}, d, CVConfig{Folds: 8, Seed: seed, Transform: tf, Workers: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := CrossValidate(perfectLearner{}, d, CVConfig{Folds: 8, Seed: seed, Transform: tf, Workers: 8})
+		par, err := CrossValidate(context.Background(), perfectLearner{}, d, CVConfig{Folds: 8, Seed: seed, Transform: tf, Workers: 8})
 		if err != nil {
 			t.Fatal(err)
 		}

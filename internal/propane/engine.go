@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"edem/internal/bitflip"
 	"edem/internal/parallel"
+	"edem/internal/telemetry"
 )
 
 // Spec configures one fault-injection campaign, producing one dataset in
@@ -166,7 +168,14 @@ var ErrModuleNotFound = errors.New("propane: module not found in target")
 // one injected run per (test case, variable, bit, injection time),
 // fanned out across workers. Results are deterministic for a given spec
 // and target: records appear in job order regardless of scheduling.
+//
+// Each campaign is recorded as a "campaign" telemetry phase; the
+// campaign.* counters (runs injected, states sampled, failure labels,
+// crashes, golden runs) and the campaign.run_ns per-run wall-clock
+// histogram report where fault-injection volume goes.
 func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
+	ctx, span := telemetry.StartSpan(ctx, "campaign")
+	defer span.End()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -203,14 +212,46 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 		}
 	}
 
+	// Telemetry handles are hoisted out of the injection loop; disabled
+	// telemetry leaves them nil and every update is one branch.
+	reg := telemetry.FromContext(ctx)
+	reg.Counter("campaign.golden_runs").Add(int64(len(tcs)))
+	cInjected := reg.Counter("campaign.runs_injected")
+	cActivated := reg.Counter("campaign.injections_activated")
+	cSampled := reg.Counter("campaign.states_sampled")
+	cFailures := reg.Counter("campaign.failures")
+	cCrashes := reg.Counter("campaign.crashes")
+	hRunNS := reg.Histogram("campaign.run_ns")
+
 	// Injected runs are independent, so they fan out on the shared
 	// scheduler; indexed writes keep records in job order regardless of
 	// scheduling, and spec.Workers (0 = the global budget) bounds this
 	// campaign's share of it.
 	records := make([]Record, len(jobs))
 	if err := parallel.ForEach(ctx, len(jobs), spec.Workers, func(idx int) error {
+		var runStart time.Time
+		if reg != nil {
+			runStart = time.Now()
+		}
 		j := jobs[idx]
-		records[idx] = runInjected(target, spec, mod, tcs[j.tcIdx], golden[j.tcIdx], j.varIdx, j.bit, j.time)
+		rec := runInjected(target, spec, mod, tcs[j.tcIdx], golden[j.tcIdx], j.varIdx, j.bit, j.time)
+		records[idx] = rec
+		if reg != nil {
+			hRunNS.ObserveDuration(time.Since(runStart))
+			cInjected.Inc()
+			if rec.Injected {
+				cActivated.Inc()
+			}
+			if rec.Sampled {
+				cSampled.Inc()
+			}
+			if rec.Failure {
+				cFailures.Inc()
+			}
+			if rec.Crashed {
+				cCrashes.Inc()
+			}
+		}
 		return nil
 	}); err != nil {
 		return nil, fmt.Errorf("propane: campaign cancelled: %w", err)

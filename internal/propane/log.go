@@ -24,22 +24,34 @@ import (
 // Fields are space-separated; the state vector is comma-separated and
 // omitted when no sample was captured.
 
-// WriteLog serialises a campaign in the PROPANE log format.
+// WriteLog serialises a campaign in the PROPANE log format. Header
+// lines whose value is absent (empty name, zero location, no vars) are
+// omitted entirely: a header keyword with no value is not parseable, so
+// emitting it would make the writer's own output unreadable.
 func WriteLog(w io.Writer, c *Campaign) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "#PROPANE v1")
-	fmt.Fprintf(bw, "#target %s\n", c.Target)
-	fmt.Fprintf(bw, "#dataset %s\n", c.Spec.Dataset)
-	fmt.Fprintf(bw, "#module %s\n", c.Spec.Module)
-	fmt.Fprintf(bw, "#inject %s\n", c.Spec.InjectAt)
-	fmt.Fprintf(bw, "#sample %s\n", c.Spec.SampleAt)
-	fmt.Fprintf(bw, "#vars %s\n", strings.Join(c.VarNames, " "))
+	writeHeader(bw, "#target", c.Target)
+	writeHeader(bw, "#dataset", c.Spec.Dataset)
+	writeHeader(bw, "#module", c.Spec.Module)
+	if c.Spec.InjectAt == Entry || c.Spec.InjectAt == Exit {
+		fmt.Fprintf(bw, "#inject %s\n", c.Spec.InjectAt)
+	}
+	if c.Spec.SampleAt == Entry || c.Spec.SampleAt == Exit {
+		fmt.Fprintf(bw, "#sample %s\n", c.Spec.SampleAt)
+	}
+	if len(c.VarNames) > 0 {
+		fmt.Fprintf(bw, "#vars %s\n", strings.Join(c.VarNames, " "))
+	}
 	for i := range c.Records {
 		r := &c.Records[i]
 		fmt.Fprintf(bw, "RUN tc=%d var=%s bit=%d t=%d inj=%s smp=%s fail=%s crash=%s",
 			r.TestCase, r.Var, r.Bit, r.InjectionTime,
 			bool01(r.Injected), bool01(r.Sampled), bool01(r.Failure), bool01(r.Crashed))
-		if r.Sampled {
+		// A sampled run can still carry an empty state vector (e.g. a
+		// module with no variables); "state=" with no values would not
+		// reparse, so the field appears only when there are values.
+		if r.Sampled && len(r.State) > 0 {
 			parts := make([]string, len(r.State))
 			for j, v := range r.State {
 				parts[j] = strconv.FormatFloat(v, 'g', -1, 64)
@@ -49,6 +61,12 @@ func WriteLog(w io.Writer, c *Campaign) error {
 		fmt.Fprintln(bw)
 	}
 	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, keyword, value string) {
+	if value != "" {
+		fmt.Fprintf(w, "%s %s\n", keyword, value)
+	}
 }
 
 // ReadLog parses a PROPANE log stream written by WriteLog.
@@ -66,6 +84,9 @@ func ReadLog(r io.Reader) (*Campaign, error) {
 		switch {
 		case strings.HasPrefix(line, "#PROPANE"):
 			// version line; only v1 exists.
+		case line == "#target" || line == "#dataset" || line == "#module" || line == "#vars":
+			// A header keyword with an empty value (hand-written logs, or
+			// logs from writers that emitted empty headers): nothing to set.
 		case strings.HasPrefix(line, "#target "):
 			c.Target = line[len("#target "):]
 		case strings.HasPrefix(line, "#dataset "):
