@@ -420,6 +420,53 @@ func BenchmarkRefine_Workers(b *testing.B) {
 // BenchmarkTables_ParallelRows measures the dataset-row fan-out added
 // on top of the per-row parallelism: three Table III rows generated
 // concurrently on the shared budget.
+// syntheticGridDataset is a deterministic imbalanced campaign-log
+// stand-in for the refinement-grid benchmarks: numeric module state
+// with an ~8% failure minority, large enough that per-cell clone and
+// re-sort costs dominate the grid's wall clock.
+func syntheticGridDataset(n int, seed uint64) *dataset.Dataset {
+	attrs := make([]dataset.Attribute, 8)
+	for i := range attrs {
+		attrs[i] = dataset.NumericAttr(fmt.Sprintf("v%d", i))
+	}
+	d := dataset.New("grid-bench", attrs, []string{"nonfailure", "failure"})
+	rng := stats.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		vs := make([]float64, len(attrs))
+		for a := range vs {
+			vs[a] = rng.Float64() * 100
+		}
+		class := 0
+		if vs[0] > 92 || (vs[1] > 95 && vs[2] > 40) {
+			class = 1
+		}
+		d.MustAdd(dataset.Instance{Values: vs, Class: class, Weight: 1})
+	}
+	return d
+}
+
+// BenchmarkRefineGrid is the end-to-end Step 4 kernel: the full reduced
+// sampling grid (20 configurations + baseline × 10 folds) over a
+// synthetic campaign log. This is the headline number for the
+// fold-shared columnar store; scripts/bench.sh records ns/op and
+// allocs/op into BENCH_refine.json.
+func BenchmarkRefineGrid(b *testing.B) {
+	d := syntheticGridDataset(2000, 11)
+	grid := core.RefineGrid(false)
+	for _, w := range []int{1, 0} {
+		opts := core.DefaultOptions()
+		opts.Workers = w
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Refine(context.Background(), d, grid, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkTables_ParallelRows(b *testing.B) {
 	opts := benchOpts()
 	ids := []string{"7Z-A1", "FG-B1", "MG-B1"}

@@ -82,6 +82,29 @@ func (c SamplingConfig) Transform() eval.TrainTransform {
 	}
 }
 
+// ViewTransform returns the columnar training transform for the
+// configuration, or nil for NoSampling. It consumes the same RNG
+// stream as Transform, so a run may mix the two paths and stay
+// bit-identical.
+func (c SamplingConfig) ViewTransform() eval.ViewTransform {
+	switch c.Kind {
+	case Undersampling:
+		return func(st *dataset.Store, rng *stats.RNG) (*dataset.View, error) {
+			return sampling.UndersampleView(st, 0, c.Percent, rng)
+		}
+	case Oversampling:
+		return func(st *dataset.Store, rng *stats.RNG) (*dataset.View, error) {
+			return sampling.OversampleView(st, eval.PositiveClass, c.Percent, rng)
+		}
+	case Smote:
+		return func(st *dataset.Store, rng *stats.RNG) (*dataset.View, error) {
+			return sampling.SMOTEView(st, eval.PositiveClass, c.Percent, c.K, rng)
+		}
+	default:
+		return nil
+	}
+}
+
 // DefaultLearner returns the paper's Step 3 configuration: C4.5 with
 // standard settings (CF=0.25, min leaf 2, gain ratio, pruning).
 func DefaultLearner() tree.Learner { return tree.Learner{} }

@@ -53,6 +53,11 @@ func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts
 	reg.Counter("refine.grid_configs").Add(int64(nCfg))
 	cellsScored := reg.Counter("refine.cells_scored")
 	cellNS := reg.Histogram("refine.cell_ns")
+	ctrs := refineCounters{
+		storeBuilds: reg.Counter("refine.store_builds"),
+		viewHits:    reg.Counter("refine.view_hits"),
+		mergeSyn:    reg.Counter("refine.merge_synthetic_rows"),
+	}
 
 	// Cell index layout: fold-major, so the cells of one fold are
 	// adjacent in the claim order and the fold's lazily-built artifacts
@@ -60,7 +65,7 @@ func Refine(ctx context.Context, d *dataset.Dataset, grid []SamplingConfig, opts
 	err = parallel.ForEach(ctx, len(cells), opts.Workers, func(idx int) error {
 		_, cellSpan := telemetry.StartSpan(ctx, "cell")
 		fi, ci := idx/nCfg, idx%nCfg
-		if err := refineCellEval(d, folds[fi], &shared[fi], full[ci], maxK, opts, fi, ci, &cells[idx]); err != nil {
+		if err := refineCellEval(d, folds[fi], &shared[fi], full[ci], maxK, opts, fi, ci, &cells[idx], ctrs); err != nil {
 			cellSpan.End()
 			return fmt.Errorf("core: refine fold %d %s: %w", fi, full[ci].Label(), err)
 		}
@@ -109,26 +114,38 @@ type refineCell struct {
 }
 
 // foldShared holds the artifacts every cell of one fold reads: the
-// training partition and (when the grid contains SMOTE points) the
-// minority neighbour index. Both are built exactly once, by whichever
-// cell of the fold is scheduled first, and are immutable afterwards.
+// columnar training store (DESIGN.md §10) and (when the grid contains
+// SMOTE points) the minority neighbour index over it. Both are built
+// exactly once, by whichever cell of the fold is scheduled first, and
+// are immutable afterwards.
 type foldShared struct {
-	trainOnce sync.Once
-	train     *dataset.Dataset
+	storeOnce sync.Once
+	store     *dataset.Store
 
 	niOnce sync.Once
 	ni     *sampling.NeighborIndex
 	niErr  error
 }
 
-func (s *foldShared) trainSet(d *dataset.Dataset, fold dataset.Fold) *dataset.Dataset {
-	s.trainOnce.Do(func() { s.train = d.Subset(fold.Train) })
-	return s.train
+// refineCounters carries the telemetry handles hoisted out of the cell
+// loop; all three are worker-count-invariant by construction.
+type refineCounters struct {
+	storeBuilds *telemetry.Counter
+	viewHits    *telemetry.Counter
+	mergeSyn    *telemetry.Counter
 }
 
-func (s *foldShared) index(train *dataset.Dataset, maxK int) (*sampling.NeighborIndex, error) {
+func (s *foldShared) trainStore(d *dataset.Dataset, fold dataset.Fold, storeBuilds *telemetry.Counter) *dataset.Store {
+	s.storeOnce.Do(func() {
+		s.store = dataset.NewStore(d, fold.Train)
+		storeBuilds.Inc()
+	})
+	return s.store
+}
+
+func (s *foldShared) index(st *dataset.Store, maxK int) (*sampling.NeighborIndex, error) {
 	s.niOnce.Do(func() {
-		s.ni, s.niErr = sampling.BuildNeighborIndex(train, eval.PositiveClass, maxK)
+		s.ni, s.niErr = sampling.BuildViewIndex(st, eval.PositiveClass, maxK)
 		if s.niErr != nil {
 			s.niErr = fmt.Errorf("neighbour index: %w", s.niErr)
 		}
@@ -138,40 +155,49 @@ func (s *foldShared) index(train *dataset.Dataset, maxK int) (*sampling.Neighbor
 
 // refineCellEval evaluates one configuration on one fold. The cell RNG
 // is seeded from (seed, fold, config) so the result does not depend on
-// which worker runs the cell or in what order.
-func refineCellEval(d *dataset.Dataset, fold dataset.Fold, sh *foldShared, cfg SamplingConfig, maxK int, opts Options, fi, ci int, cell *refineCell) error {
-	train := sh.trainSet(d, fold)
+// which worker runs the cell or in what order. Each cell trains from a
+// per-configuration view of the fold's shared store; the sampling
+// views consume the same RNG streams as their dataset counterparts, so
+// results are bit-identical to the instance-based path.
+func refineCellEval(d *dataset.Dataset, fold dataset.Fold, sh *foldShared, cfg SamplingConfig, maxK int, opts Options, fi, ci int, cell *refineCell, ctrs refineCounters) error {
+	st := sh.trainStore(d, fold, ctrs.storeBuilds)
 
 	rng := stats.NewRNG(opts.Seed ^ (uint64(fi+1) << 20) ^ uint64(ci+1))
-	td := train
+	v := st.IdentityView()
 	var err error
 	switch cfg.Kind {
 	case Undersampling:
-		td, err = sampling.Undersample(train, 0, cfg.Percent, rng)
+		v, err = sampling.UndersampleView(st, 0, cfg.Percent, rng)
 	case Oversampling:
 		if maxK > 0 {
-			ni, nerr := sh.index(train, maxK)
+			ni, nerr := sh.index(st, maxK)
 			if nerr != nil {
 				return nerr
 			}
-			td, err = ni.Oversample(cfg.Percent, rng)
+			v, err = ni.OversampleView(cfg.Percent, rng)
 		} else {
-			td, err = sampling.Oversample(train, eval.PositiveClass, cfg.Percent, rng)
+			v, err = sampling.OversampleView(st, eval.PositiveClass, cfg.Percent, rng)
 		}
 	case Smote:
 		if maxK <= 0 {
 			return fmt.Errorf("smote config without neighbour index")
 		}
-		ni, nerr := sh.index(train, maxK)
+		ni, nerr := sh.index(st, maxK)
 		if nerr != nil {
 			return nerr
 		}
-		td, err = ni.SMOTE(cfg.Percent, cfg.K, rng)
+		v, err = ni.SMOTEView(cfg.Percent, cfg.K, rng)
 	}
 	if err != nil {
 		return fmt.Errorf("transform: %w", err)
 	}
-	model, err := DefaultLearner().FitTree(td)
+	if !v.HasMissing() {
+		ctrs.viewHits.Inc()
+		if cfg.Kind == Smote {
+			ctrs.mergeSyn.Add(int64(v.Appended()))
+		}
+	}
+	model, err := DefaultLearner().FitTreeView(v)
 	if err != nil {
 		return fmt.Errorf("fit: %w", err)
 	}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"edem/internal/dataset"
+	"edem/internal/mining/eval"
+	"edem/internal/mining/sampling"
+	"edem/internal/parallel"
+	"edem/internal/stats"
+)
+
+// refineReference is the pre-columnar-store refinement loop: per-fold
+// deep-copied training subsets, dataset-returning sampling transforms,
+// FitTree on materialised instances. It is kept here as the oracle the
+// view-based Refine must match bit for bit — same cell RNG derivation,
+// same fold construction, same serial aggregation.
+func refineReference(d *dataset.Dataset, grid []SamplingConfig, opts Options) (*RefineResult, error) {
+	full := append([]SamplingConfig{{Kind: NoSampling}}, grid...)
+	rng := stats.NewRNG(opts.Seed)
+	folds, err := dataset.StratifiedKFold(d, opts.folds(), rng)
+	if err != nil {
+		return nil, err
+	}
+	maxK := 0
+	for _, cfg := range full {
+		if cfg.Kind == Smote && cfg.K > maxK {
+			maxK = cfg.K
+		}
+	}
+
+	nCfg := len(full)
+	cells := make([]refineCell, nCfg*len(folds))
+	for fi, fold := range folds {
+		train := d.Subset(fold.Train)
+		var ni *sampling.NeighborIndex
+		if maxK > 0 {
+			if ni, err = sampling.BuildNeighborIndex(train, eval.PositiveClass, maxK); err != nil {
+				return nil, err
+			}
+		}
+		for ci, cfg := range full {
+			cellRNG := stats.NewRNG(opts.Seed ^ (uint64(fi+1) << 20) ^ uint64(ci+1))
+			td := train
+			switch cfg.Kind {
+			case Undersampling:
+				td, err = sampling.Undersample(train, 0, cfg.Percent, cellRNG)
+			case Oversampling:
+				if maxK > 0 {
+					td, err = ni.Oversample(cfg.Percent, cellRNG)
+				} else {
+					td, err = sampling.Oversample(train, eval.PositiveClass, cfg.Percent, cellRNG)
+				}
+			case Smote:
+				td, err = ni.SMOTE(cfg.Percent, cfg.K, cellRNG)
+			}
+			if err != nil {
+				return nil, err
+			}
+			model, err := DefaultLearner().FitTree(td)
+			if err != nil {
+				return nil, err
+			}
+			cm := eval.NewConfusionMatrix(d.ClassValues)
+			for _, ti := range fold.Test {
+				in := &d.Instances[ti]
+				if err := cm.Record(in.Class, model.Classify(in.Values), in.Weight); err != nil {
+					return nil, err
+				}
+			}
+			cells[fi*nCfg+ci] = refineCell{counts: cm.Binary(eval.PositiveClass), size: model.Size()}
+		}
+	}
+
+	res := &RefineResult{}
+	for ci, cfg := range full {
+		cv := &eval.CVResult{}
+		var aucW, tprW, fprW, compW stats.Welford
+		for fi := range folds {
+			cell := &cells[fi*nCfg+ci]
+			aucW.Add(cell.counts.AUC())
+			tprW.Add(cell.counts.TPR())
+			fprW.Add(cell.counts.FPR())
+			compW.Add(float64(cell.size))
+		}
+		cv.MeanAUC = aucW.Mean()
+		cv.MeanTPR = tprW.Mean()
+		cv.MeanFPR = fprW.Mean()
+		cv.MeanComp = compW.Mean()
+		cv.VarAUC = aucW.Variance()
+		res.Evaluated = append(res.Evaluated, struct {
+			Config SamplingConfig
+			CV     *eval.CVResult
+		}{cfg, cv})
+		if res.BestCV == nil ||
+			cv.MeanAUC > res.BestCV.MeanAUC ||
+			(cv.MeanAUC == res.BestCV.MeanAUC && cv.MeanComp < res.BestCV.MeanComp) {
+			res.Best = cfg
+			res.BestCV = cv
+		}
+	}
+	return res, nil
+}
+
+// TestRefineMatchesInstancePath pins the tentpole invariant: the
+// store/view-based grid produces byte-identical results to the
+// instance-based path, at every worker count. Every grid shape is
+// exercised (no-sampling, undersample, oversample, SMOTE at two
+// percent/K points, including percent<100 planning).
+func TestRefineMatchesInstancePath(t *testing.T) {
+	parallel.SetBudget(8)
+	defer parallel.SetBudget(0)
+
+	grid := []SamplingConfig{
+		{Kind: Undersampling, Percent: 35},
+		{Kind: Undersampling, Percent: 85},
+		{Kind: Oversampling, Percent: 40},
+		{Kind: Oversampling, Percent: 300},
+		{Kind: Smote, Percent: 60, K: 3},
+		{Kind: Smote, Percent: 400, K: 5},
+	}
+	for _, seed := range []uint64{3, 17} {
+		d := refineDataset(250, seed)
+		opts := DefaultOptions()
+		opts.Seed = seed
+		opts.Folds = 5
+
+		want, err := refineReference(d, grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			opts.Workers = workers
+			got, err := Refine(context.Background(), d, grid, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("seed %d workers %d: view-based Refine diverges from instance path", seed, workers)
+			}
+		}
+	}
+}
+
+// TestRefineMatchesInstancePathMissing covers the fallback route: a
+// dataset with missing values disables the store's merge orders, so
+// every cell materialises its view and lands in the general builder —
+// still byte-identical to the instance path.
+func TestRefineMatchesInstancePathMissing(t *testing.T) {
+	grid := []SamplingConfig{
+		{Kind: Undersampling, Percent: 50},
+		{Kind: Oversampling, Percent: 200},
+		{Kind: Smote, Percent: 200, K: 3},
+	}
+	d := refineDataset(150, 29)
+	for i := 0; i < 150; i += 11 {
+		d.Instances[i].Values[1] = dataset.Missing
+	}
+	d.InvalidateMissing()
+	opts := DefaultOptions()
+	opts.Seed = 29
+	opts.Folds = 5
+
+	want, err := refineReference(d, grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		opts.Workers = workers
+		got, err := Refine(context.Background(), d, grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("workers %d: missing-value fallback diverges from instance path", workers)
+		}
+	}
+}

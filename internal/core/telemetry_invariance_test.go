@@ -39,7 +39,12 @@ func TestTelemetryCountersWorkerInvariant(t *testing.T) {
 		if _, err := Baseline(ctx, d, opts); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
-		if _, err := Refine(ctx, d, RefineGrid(false)[:2], opts); err != nil {
+		// Two undersampling points plus an oversampling and a SMOTE point,
+		// so the store/view counters (refine.store_builds,
+		// refine.view_hits, refine.merge_synthetic_rows) all accumulate.
+		grid := RefineGrid(false)
+		sub := append(grid[:2:2], grid[4:6]...)
+		if _, err := Refine(ctx, d, sub, opts); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		snap := reg.Snapshot()
@@ -60,6 +65,11 @@ func TestTelemetryCountersWorkerInvariant(t *testing.T) {
 	serial := runAt(1)
 	if len(serial.Counters) == 0 {
 		t.Fatal("serial run recorded no counters")
+	}
+	for _, name := range []string{"refine.store_builds", "refine.view_hits", "refine.merge_synthetic_rows"} {
+		if serial.Counters[name] <= 0 {
+			t.Errorf("counter %s not accumulated: %d", name, serial.Counters[name])
+		}
 	}
 	for _, workers := range []int{2, 8} {
 		par := runAt(workers)

@@ -93,12 +93,32 @@ func (in Instance) Clone() Instance {
 }
 
 // Dataset is a named relation with a distinguished nominal class.
+//
+// Ownership contract: constructors that deep-copy (Clone, Subset,
+// Filter) hand the caller instances whose Values it may mutate freely.
+// The Shared variants (CloneShared, SubsetShared) alias the receiver's
+// Values backing arrays instead; datasets built that way are read-only
+// views — callers must treat every Values slice as immutable and
+// deep-copy (Instance.Clone) before writing. Learners already promise
+// not to mutate their training data (mining.Learner), so read-only
+// pipelines (cross-validation partitions, sampling inputs) use the
+// Shared variants to avoid cloning churn.
 type Dataset struct {
 	Name        string
 	Attrs       []Attribute
 	ClassValues []string
 	Instances   []Instance
+
+	// missing caches the HasMissing answer; see missingUnknown et al.
+	missing int8
 }
+
+// HasMissing cache states.
+const (
+	missingUnknown int8 = iota
+	missingNo
+	missingYes
+)
 
 // Common validation errors.
 var (
@@ -128,8 +148,53 @@ func (d *Dataset) Add(in Instance) error {
 	if in.Weight == 0 {
 		in.Weight = 1
 	}
+	if d.missing == missingNo && instanceHasMissing(in) {
+		d.missing = missingYes
+	}
 	d.Instances = append(d.Instances, in)
 	return nil
+}
+
+func instanceHasMissing(in Instance) bool {
+	for _, v := range in.Values {
+		if IsMissing(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// HasMissing reports whether any instance value is missing. The answer
+// is computed on the first call and cached; Add maintains the cache
+// incrementally, and Clone/Subset/Filter propagate what the cache can
+// prove (a subset of a missing-free dataset is missing-free). Code that
+// appends to Instances directly, or mutates Values after the first
+// call, must call InvalidateMissing. Not safe for a concurrent first
+// call with other accesses; compute it before fanning out.
+func (d *Dataset) HasMissing() bool {
+	if d.missing == missingUnknown {
+		d.missing = missingNo
+		for i := range d.Instances {
+			if instanceHasMissing(d.Instances[i]) {
+				d.missing = missingYes
+				break
+			}
+		}
+	}
+	return d.missing == missingYes
+}
+
+// InvalidateMissing drops the cached HasMissing answer. Call it after
+// mutating Instances or Values outside Add.
+func (d *Dataset) InvalidateMissing() { d.missing = missingUnknown }
+
+// inheritMissing propagates the receiver's cache to a dataset holding a
+// subset of its instances: only the missing-free answer survives (a
+// subset of a dataset with missing values may or may not have any).
+func (d *Dataset) inheritMissing(out *Dataset) {
+	if d.missing == missingNo {
+		out.missing = missingNo
+	}
 }
 
 // MustAdd appends an instance and panics on schema mismatch. It is meant
@@ -191,6 +256,7 @@ func (d *Dataset) CloneSchema() *Dataset {
 // Clone returns a deep copy of the dataset.
 func (d *Dataset) Clone() *Dataset {
 	out := d.CloneSchema()
+	out.missing = d.missing
 	out.Instances = make([]Instance, 0, len(d.Instances))
 	for i := range d.Instances {
 		out.Instances = append(out.Instances, d.Instances[i].Clone())
@@ -198,13 +264,40 @@ func (d *Dataset) Clone() *Dataset {
 	return out
 }
 
+// CloneShared returns a copy of the dataset whose instances alias the
+// receiver's Values backing arrays (class and weight are copied — they
+// live in the Instance struct). The result is a read-only view per the
+// ownership contract above: mutate weights or class labels freely,
+// never the shared Values.
+func (d *Dataset) CloneShared() *Dataset {
+	out := d.CloneSchema()
+	out.missing = d.missing
+	out.Instances = make([]Instance, len(d.Instances))
+	copy(out.Instances, d.Instances)
+	return out
+}
+
 // Subset returns a new dataset containing clones of the instances at the
 // given indices.
 func (d *Dataset) Subset(idx []int) *Dataset {
 	out := d.CloneSchema()
+	d.inheritMissing(out)
 	out.Instances = make([]Instance, 0, len(idx))
 	for _, i := range idx {
 		out.Instances = append(out.Instances, d.Instances[i].Clone())
+	}
+	return out
+}
+
+// SubsetShared returns a new dataset containing the instances at the
+// given indices with their Values backing arrays shared (not cloned).
+// The result is a read-only view per the ownership contract above.
+func (d *Dataset) SubsetShared(idx []int) *Dataset {
+	out := d.CloneSchema()
+	d.inheritMissing(out)
+	out.Instances = make([]Instance, 0, len(idx))
+	for _, i := range idx {
+		out.Instances = append(out.Instances, d.Instances[i])
 	}
 	return out
 }
@@ -213,6 +306,7 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 // keep returns true.
 func (d *Dataset) Filter(keep func(Instance) bool) *Dataset {
 	out := d.CloneSchema()
+	d.inheritMissing(out)
 	for i := range d.Instances {
 		if keep(d.Instances[i]) {
 			out.Instances = append(out.Instances, d.Instances[i].Clone())

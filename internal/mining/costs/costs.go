@@ -128,7 +128,9 @@ func Reweight(d *dataset.Dataset, vector []float64) (*dataset.Dataset, error) {
 	if denom == 0 {
 		return nil, errors.New("costs: zero total cost; nothing to reweight")
 	}
-	out := d.Clone()
+	// Only Weight changes, which lives in the Instance struct — the
+	// shared clone keeps the Values arrays aliased (ownership contract).
+	out := d.CloneShared()
 	for i := range out.Instances {
 		c := out.Instances[i].Class
 		out.Instances[i].Weight = vector[c] * n / denom

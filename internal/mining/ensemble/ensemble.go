@@ -102,8 +102,11 @@ func (b Bagging) Fit(d *dataset.Dataset) (mining.Classifier, error) {
 	model := &voteModel{classes: len(d.ClassValues)}
 	for r := 0; r < b.rounds(); r++ {
 		boot := d.CloneSchema()
+		boot.Instances = make([]dataset.Instance, 0, d.Len())
 		for i := 0; i < d.Len(); i++ {
-			boot.Instances = append(boot.Instances, d.Instances[rng.Intn(d.Len())].Clone())
+			// Struct copy shares the Values array — bootstrap members are
+			// read-only training inputs (ownership contract).
+			boot.Instances = append(boot.Instances, d.Instances[rng.Intn(d.Len())])
 		}
 		member, err := b.Base.Fit(boot)
 		if err != nil {
@@ -167,7 +170,9 @@ func (a AdaBoost) Fit(d *dataset.Dataset) (mining.Classifier, error) {
 	// learners like C4.5 use absolute weight thresholds (min leaf
 	// weight), which a unit-sum distribution would starve.
 	n := d.Len()
-	work := d.Clone()
+	// Boosting rounds reweight instances but never touch Values, so the
+	// working copy shares the backing arrays (ownership contract).
+	work := d.CloneShared()
 	for i := range work.Instances {
 		work.Instances[i].Weight = 1
 	}

@@ -24,6 +24,13 @@ import (
 // worker count.
 type TrainTransform func(d *dataset.Dataset, rng *stats.RNG) (*dataset.Dataset, error)
 
+// ViewTransform is the columnar analogue of TrainTransform: it derives
+// a training view from a fold's columnar store (DESIGN.md §10) instead
+// of rewriting a cloned dataset. A transform must be safe for
+// concurrent calls and must consume the same RNG stream as its
+// instance-based counterpart so either path yields identical folds.
+type ViewTransform func(st *dataset.Store, rng *stats.RNG) (*dataset.View, error)
+
 // CVConfig configures a cross-validation run.
 type CVConfig struct {
 	// Folds is the number of folds (the paper uses 10).
@@ -32,6 +39,12 @@ type CVConfig struct {
 	Seed uint64
 	// Transform, if non-nil, preprocesses each training partition.
 	Transform TrainTransform
+	// ViewTransform, if non-nil, preprocesses each training partition on
+	// the columnar path. It is used instead of Transform when the
+	// learner implements mining.ViewFitter; set both when configuring a
+	// sampling treatment so cross-validation can pick the fastest path
+	// the learner supports.
+	ViewTransform ViewTransform
 	// PositiveClass is the concept class index (default 1).
 	PositiveClass int
 	// Workers bounds fold parallelism for this run: 0 draws on the
@@ -90,12 +103,18 @@ func CrossValidate(ctx context.Context, l mining.Learner, d *dataset.Dataset, cf
 	// the loop was serial — this is what makes results independent of
 	// the worker count.
 	var rngs []*stats.RNG
-	if cfg.Transform != nil {
+	if cfg.Transform != nil || cfg.ViewTransform != nil {
 		rngs = make([]*stats.RNG, len(folds))
 		for fi := range rngs {
 			rngs[fi] = rng.Fork()
 		}
 	}
+
+	// The columnar path applies when the learner trains from views and
+	// any configured transform has a view form; otherwise folds
+	// materialise shared-Values training subsets as before.
+	viewFitter, _ := l.(mining.ViewFitter)
+	useViews := viewFitter != nil && (cfg.Transform == nil || cfg.ViewTransform != nil)
 
 	// Folds are evaluated in parallel into indexed slots; all metric
 	// accumulation stays serial (below) so floating-point results match
@@ -112,15 +131,28 @@ func CrossValidate(ctx context.Context, l mining.Learner, d *dataset.Dataset, cf
 			foldStart = time.Now()
 		}
 		fold := folds[fi]
-		train := d.Subset(fold.Train)
-		if cfg.Transform != nil {
-			var terr error
-			train, terr = cfg.Transform(train, rngs[fi])
-			if terr != nil {
-				return fmt.Errorf("eval: fold %d transform: %w", fi, terr)
+		var model mining.Classifier
+		var err error
+		if useViews {
+			st := dataset.NewStore(d, fold.Train)
+			v := st.IdentityView()
+			if cfg.ViewTransform != nil {
+				if v, err = cfg.ViewTransform(st, rngs[fi]); err != nil {
+					return fmt.Errorf("eval: fold %d transform: %w", fi, err)
+				}
 			}
+			model, err = viewFitter.FitView(v)
+		} else {
+			train := d.SubsetShared(fold.Train)
+			if cfg.Transform != nil {
+				var terr error
+				train, terr = cfg.Transform(train, rngs[fi])
+				if terr != nil {
+					return fmt.Errorf("eval: fold %d transform: %w", fi, terr)
+				}
+			}
+			model, err = l.Fit(train)
 		}
-		model, err := l.Fit(train)
 		if err != nil {
 			return fmt.Errorf("eval: fold %d fit: %w", fi, err)
 		}

@@ -116,7 +116,10 @@ func ROCCrossValidated(l mining.Learner, d *dataset.Dataset, cfg CVConfig) ([]RO
 		return nil, 0, err
 	}
 	for fi, fold := range folds {
-		train := d.Subset(fold.Train)
+		// Read-only training partition: transforms clone before writing
+		// and learners must not mutate (see the dataset ownership
+		// contract), so sharing Values is safe.
+		train := d.SubsetShared(fold.Train)
 		if cfg.Transform != nil {
 			train, err = cfg.Transform(train, rng.Fork())
 			if err != nil {

@@ -41,6 +41,15 @@ type Learner interface {
 	Fit(d *dataset.Dataset) (Classifier, error)
 }
 
+// ViewFitter is an optional Learner refinement for learners that can
+// train directly from a columnar dataset.View (shared fold store +
+// per-configuration sampling view) without materialising instances.
+// Implementations must treat the view's arrays as read-only: one view
+// may feed many concurrent FitView calls.
+type ViewFitter interface {
+	FitView(v *dataset.View) (Classifier, error)
+}
+
 // ModelSize returns the complexity of a classifier, or 1 if the model
 // does not report one (e.g. ZeroR).
 func ModelSize(c Classifier) int {

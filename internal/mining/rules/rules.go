@@ -378,7 +378,9 @@ func (p PRISM) Fit(d *dataset.Dataset) (mining.Classifier, error) {
 	// Learn rules for minority classes first so the default class
 	// covers the bulk.
 	order := classOrderByWeight(d)
-	remaining := d.Clone()
+	// Rule growth only reads instances and filters them out as rules
+	// cover them; sharing Values is safe (ownership contract).
+	remaining := d.CloneShared()
 	for _, class := range order {
 		if class == rs.Default {
 			continue

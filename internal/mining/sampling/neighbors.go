@@ -1,6 +1,7 @@
 package sampling
 
 import (
+	"errors"
 	"fmt"
 
 	"edem/internal/dataset"
@@ -13,7 +14,8 @@ import (
 // one training partition without recomputing the O(m²) neighbour
 // search per configuration.
 type NeighborIndex struct {
-	d      *dataset.Dataset
+	d      *dataset.Dataset // instance-backed index (BuildNeighborIndex)
+	st     *dataset.Store   // store-backed index (BuildViewIndex)
 	class  int
 	minIdx []int
 	lists  [][]int
@@ -67,4 +69,69 @@ func (ni *NeighborIndex) SMOTE(percent float64, k int, rng *stats.RNG) (*dataset
 // q=0 special case), using the cached minority indices.
 func (ni *NeighborIndex) Oversample(percent float64, rng *stats.RNG) (*dataset.Dataset, error) {
 	return smoteWith(ni.d, ni.class, ni.minIdx, nil, percent, rng, true)
+}
+
+// BuildViewIndex computes up to maxK nearest minority neighbours for
+// every minority row of a columnar store. The lists match
+// BuildNeighborIndex on the materialised partition bit for bit (shared
+// neighbour-search core, same tie-breaks); the resulting index serves
+// views via SMOTEView/OversampleView instead of cloned datasets.
+func BuildViewIndex(st *dataset.Store, minorityClass, maxK int) (*NeighborIndex, error) {
+	if maxK < 1 {
+		return nil, ErrBadK
+	}
+	minIdx, err := storeMinority(st, minorityClass)
+	if err != nil {
+		return nil, err
+	}
+	var lists [][]int
+	if len(minIdx) > 1 {
+		lists = storeNeighbors(st, minIdx, maxK)
+	} else {
+		lists = make([][]int, 1)
+	}
+	return &NeighborIndex{st: st, class: minorityClass, minIdx: minIdx, lists: lists, maxK: maxK}, nil
+}
+
+// ErrNoStore is returned when a view method is called on an index built
+// over a dataset rather than a columnar store.
+var ErrNoStore = errors.New("sampling: neighbour index not store-backed")
+
+// SMOTEView generates percent% synthetic minority rows from the first k
+// cached neighbours of each seed, as a view of the index's store. Same
+// RNG stream and synthetic values as SMOTE on the materialised
+// partition.
+func (ni *NeighborIndex) SMOTEView(percent float64, k int, rng *stats.RNG) (*dataset.View, error) {
+	if ni.st == nil {
+		return nil, ErrNoStore
+	}
+	if k < 1 || k > ni.maxK {
+		return nil, fmt.Errorf("%w: k=%d (index holds %d)", ErrBadK, k, ni.maxK)
+	}
+	trunc := make([][]int, len(ni.lists))
+	for i, l := range ni.lists {
+		if len(l) > k {
+			l = l[:k]
+		}
+		trunc[i] = l
+	}
+	specs, err := planSmote(ni.minIdx, trunc, percent, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	return viewFromSpecs(ni.st, ni.class, ni.minIdx, specs), nil
+}
+
+// OversampleView generates percent% minority copies with replacement as
+// a repeat view of the index's store (duplicate row references, no
+// value copies). Same RNG stream as Oversample.
+func (ni *NeighborIndex) OversampleView(percent float64, rng *stats.RNG) (*dataset.View, error) {
+	if ni.st == nil {
+		return nil, ErrNoStore
+	}
+	specs, err := planSmote(ni.minIdx, nil, percent, rng, true)
+	if err != nil {
+		return nil, err
+	}
+	return viewFromSpecs(ni.st, ni.class, ni.minIdx, specs), nil
 }

@@ -1,0 +1,177 @@
+package sampling
+
+// This file holds the view-returning variants of the sampling
+// treatments, for the refinement grid's fold-shared columnar store
+// (DESIGN.md §10). Each
+// variant consumes the exact RNG stream of its dataset counterpart —
+// both run the same plan function (undersampleOrder, planSmote) — and
+// returns a dataset.View describing the transformed training set
+// against the store, instead of materialising cloned instances:
+// undersampling filters the store's presorted orders, oversampling
+// repeats row references, and SMOTE sorts only the synthetic rows and
+// merges them into the presorted base order.
+
+import (
+	"fmt"
+	"math"
+
+	"edem/internal/dataset"
+	"edem/internal/stats"
+)
+
+// UndersampleView is Undersample against a columnar store: the view
+// keeps keepPercent% of the majority-class rows (all other classes in
+// full), in the same instance order and from the same RNG stream as the
+// dataset path.
+func UndersampleView(st *dataset.Store, majorityClass int, keepPercent float64, rng *stats.RNG) (*dataset.View, error) {
+	if majorityClass < 0 || majorityClass >= len(st.ClassValues()) {
+		return nil, fmt.Errorf("sampling: class %d out of range", majorityClass)
+	}
+	classes := st.Classes()
+	order, err := undersampleOrder(st.Len(), func(i int) int { return classes[i] }, majorityClass, keepPercent, rng)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]int32, len(order))
+	for i, r := range order {
+		rows[i] = int32(r)
+	}
+	return st.SelectView(rows), nil
+}
+
+// OversampleView is Oversample against a columnar store: percent%
+// minority copies with replacement, as repeated row references.
+func OversampleView(st *dataset.Store, minorityClass int, percent float64, rng *stats.RNG) (*dataset.View, error) {
+	minIdx, err := storeMinority(st, minorityClass)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := planSmote(minIdx, nil, percent, rng, true)
+	if err != nil {
+		return nil, err
+	}
+	return viewFromSpecs(st, minorityClass, minIdx, specs), nil
+}
+
+// SMOTEView is SMOTE against a columnar store: percent% synthetic
+// minority rows interpolated towards k nearest minority neighbours,
+// appended to the store through an extend view.
+func SMOTEView(st *dataset.Store, minorityClass int, percent float64, k int, rng *stats.RNG) (*dataset.View, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	minIdx, err := storeMinority(st, minorityClass)
+	if err != nil {
+		return nil, err
+	}
+	var neighbors [][]int
+	if len(minIdx) > 1 {
+		neighbors = storeNeighbors(st, minIdx, k)
+	}
+	specs, err := planSmote(minIdx, neighbors, percent, rng, false)
+	if err != nil {
+		return nil, err
+	}
+	return viewFromSpecs(st, minorityClass, minIdx, specs), nil
+}
+
+// storeMinority collects the store rows of the minority class.
+func storeMinority(st *dataset.Store, minorityClass int) ([]int, error) {
+	if minorityClass < 0 || minorityClass >= len(st.ClassValues()) {
+		return nil, fmt.Errorf("sampling: class %d out of range", minorityClass)
+	}
+	var minIdx []int
+	for i, c := range st.Classes() {
+		if c == minorityClass {
+			minIdx = append(minIdx, i)
+		}
+	}
+	if len(minIdx) == 0 {
+		return nil, ErrNoMinority
+	}
+	return minIdx, nil
+}
+
+// storeNeighbors runs the shared neighbour-search core over the store's
+// columns; the lists match nearestNeighbors on the materialised dataset
+// bit for bit.
+func storeNeighbors(st *dataset.Store, minIdx []int, k int) [][]int {
+	lo, hi := columnRanges(st)
+	cols := st.Cols()
+	return nearestNeighborsAt(st.Attrs(), func(row, attr int) float64 { return cols[attr][row] }, lo, hi, minIdx, k)
+}
+
+// columnRanges is attributeRanges over a store's columns.
+func columnRanges(st *dataset.Store) (lo, hi []float64) {
+	attrs := st.Attrs()
+	lo = make([]float64, len(attrs))
+	hi = make([]float64, len(attrs))
+	for i := range lo {
+		lo[i] = math.Inf(1)
+		hi[i] = math.Inf(-1)
+	}
+	for i, col := range st.Cols() {
+		for _, v := range col {
+			if dataset.IsMissing(v) {
+				continue
+			}
+			if v < lo[i] {
+				lo[i] = v
+			}
+			if v > hi[i] {
+				hi[i] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// viewFromSpecs realises a synthetic-instance plan against the store.
+// A plan of plain copies (oversampling, or SMOTE degenerating to
+// replacement when the minority has a single member) becomes a repeat
+// view — duplicate row references, no value copies. A plan with
+// interpolations becomes an extend view holding the m synthetic rows.
+func viewFromSpecs(st *dataset.Store, minorityClass int, minIdx []int, specs []synSpec) *dataset.View {
+	allCopies := true
+	for _, sp := range specs {
+		if sp.nn >= 0 {
+			allCopies = false
+			break
+		}
+	}
+	if allCopies {
+		extra := make([]int32, len(specs))
+		for i, sp := range specs {
+			extra[i] = int32(minIdx[sp.seedPos])
+		}
+		return st.RepeatView(extra)
+	}
+
+	attrs := st.Attrs()
+	cols := st.Cols()
+	weights := st.Weights()
+	syn := make([]dataset.Synthetic, len(specs))
+	valArena := make([]float64, len(specs)*len(attrs))
+	for i, sp := range specs {
+		seedRow := minIdx[sp.seedPos]
+		vs := valArena[i*len(attrs) : (i+1)*len(attrs)]
+		for a := range attrs {
+			sv := cols[a][seedRow]
+			vs[a] = sv
+			if sp.nn < 0 {
+				continue
+			}
+			nv := cols[a][sp.nn]
+			if dataset.IsMissing(sv) || dataset.IsMissing(nv) {
+				continue
+			}
+			if attrs[a].Type == dataset.Numeric {
+				vs[a] = sv + sp.q*(nv-sv)
+			} else if sp.q >= 0.5 {
+				vs[a] = nv
+			}
+		}
+		syn[i] = dataset.Synthetic{Values: vs, Class: minorityClass, Weight: weights[seedRow]}
+	}
+	return st.ExtendView(syn)
+}

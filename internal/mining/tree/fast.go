@@ -22,26 +22,22 @@ import (
 // instead of per-child append chains. A builder is used by one
 // goroutine; fold- and grid-level parallelism each construct their own.
 
-// hasMissing reports whether any instance value is missing.
-func hasMissing(d *dataset.Dataset) bool {
-	for i := range d.Instances {
-		for _, v := range d.Instances[i].Values {
-			if dataset.IsMissing(v) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 type fastBuilder struct {
 	cfg      Config
-	d        *dataset.Dataset
+	attrs    []dataset.Attribute
 	cols     [][]float64 // column-major attribute values [attr][row]
 	classes  []int
 	weights  []float64
 	nClasses int
 	nNumeric int // numeric attribute count: sorted-order slabs per node
+
+	// Root state. rootRows is the training rows in instance order;
+	// rootSorted, when non-nil, is the pre-merged per-attribute sort
+	// order handed over by a dataset.View, letting rootNode skip its
+	// sort entirely. Both are read-only: they may be shared with a
+	// fold-wide store that other goroutines are reading.
+	rootRows   []int32
+	rootSorted [][]int32
 
 	// Split-scan scratch, reused across bestSplit calls. Safe because a
 	// node's best split is fully consumed (partition + node labelling)
@@ -68,24 +64,18 @@ func newFastBuilder(cfg Config, d *dataset.Dataset) *fastBuilder {
 	n := d.Len()
 	fb := &fastBuilder{
 		cfg:      cfg,
-		d:        d,
+		attrs:    d.Attrs,
 		cols:     make([][]float64, len(d.Attrs)),
 		classes:  make([]int, n),
 		weights:  make([]float64, n),
 		nClasses: len(d.ClassValues),
 	}
-	maxBranches := 2
 	for a := range d.Attrs {
 		col := make([]float64, n)
 		for i := range d.Instances {
 			col[i] = d.Instances[i].Values[a]
 		}
 		fb.cols[a] = col
-		if d.Attrs[a].Type == dataset.Numeric {
-			fb.nNumeric++
-		} else if v := len(d.Attrs[a].Values); v > maxBranches {
-			maxBranches = v
-		}
 	}
 	for i := range d.Instances {
 		fb.classes[i] = d.Instances[i].Class
@@ -95,31 +85,69 @@ func newFastBuilder(cfg Config, d *dataset.Dataset) *fastBuilder {
 		}
 		fb.weights[i] = w
 	}
-	fb.leftBuf = make([]float64, fb.nClasses)
-	fb.rightBuf = make([]float64, fb.nClasses)
-	fb.branchBuf = make([]float64, maxBranches*fb.nClasses)
-	fb.branchW = make([]float64, 0, maxBranches)
-	fb.splitBuf = make([]split, 0, len(d.Attrs))
-	fb.candBuf = make([]*split, 0, len(d.Attrs))
-	fb.countBuf = make([]int, maxBranches)
-	fb.startBuf = make([]int, maxBranches)
-	fb.fillBuf = make([]int, maxBranches)
-	return fb
-}
-
-func (fb *fastBuilder) rootNode() *fastNode {
-	n := len(fb.classes)
 	rows := make([]int32, n)
 	for i := range rows {
 		rows[i] = int32(i)
 	}
-	nd := &fastNode{rows: rows, sorted: make([][]int32, len(fb.d.Attrs))}
-	for a := range fb.d.Attrs {
-		if fb.d.Attrs[a].Type != dataset.Numeric {
+	fb.rootRows = rows
+	fb.initScratch()
+	return fb
+}
+
+// newViewBuilder wires a builder straight to a columnar view's arrays:
+// no column materialisation, no weight clamp pass (the store clamps at
+// build), and — when the view carries merge-order sorts — no root sort.
+func newViewBuilder(cfg Config, v *dataset.View) *fastBuilder {
+	fb := &fastBuilder{
+		cfg:        cfg,
+		attrs:      v.Attrs(),
+		cols:       v.Cols(),
+		classes:    v.Classes(),
+		weights:    v.Weights(),
+		nClasses:   len(v.ClassValues()),
+		rootRows:   v.Rows(),
+		rootSorted: v.Sorted(),
+	}
+	fb.initScratch()
+	return fb
+}
+
+// initScratch sizes the split-scan scratch from the schema; attrs, cols
+// and nClasses must already be set.
+func (fb *fastBuilder) initScratch() {
+	maxBranches := 2
+	for a := range fb.attrs {
+		if fb.attrs[a].Type == dataset.Numeric {
+			fb.nNumeric++
+		} else if v := len(fb.attrs[a].Values); v > maxBranches {
+			maxBranches = v
+		}
+	}
+	fb.leftBuf = make([]float64, fb.nClasses)
+	fb.rightBuf = make([]float64, fb.nClasses)
+	fb.branchBuf = make([]float64, maxBranches*fb.nClasses)
+	fb.branchW = make([]float64, 0, maxBranches)
+	fb.splitBuf = make([]split, 0, len(fb.attrs))
+	fb.candBuf = make([]*split, 0, len(fb.attrs))
+	fb.countBuf = make([]int, maxBranches)
+	fb.startBuf = make([]int, maxBranches)
+	fb.fillBuf = make([]int, maxBranches)
+}
+
+func (fb *fastBuilder) rootNode() *fastNode {
+	nd := &fastNode{rows: fb.rootRows, sorted: make([][]int32, len(fb.attrs))}
+	if fb.rootSorted != nil {
+		// Pre-merged orders from the view; partition only reads them.
+		copy(nd.sorted, fb.rootSorted)
+		return nd
+	}
+	n := len(fb.rootRows)
+	for a := range fb.attrs {
+		if fb.attrs[a].Type != dataset.Numeric {
 			continue
 		}
 		idx := make([]int32, n)
-		copy(idx, rows)
+		copy(idx, fb.rootRows)
 		col := fb.cols[a]
 		sort.Slice(idx, func(i, j int) bool { return col[idx[i]] < col[idx[j]] })
 		nd.sorted[a] = idx
@@ -192,10 +220,10 @@ func (fb *fastBuilder) weightOfRows(rows []int32) float64 {
 func (fb *fastBuilder) bestSplit(nd *fastNode, dist []float64, totalW float64) *split {
 	fb.splitBuf = fb.splitBuf[:0]
 	fb.candBuf = fb.candBuf[:0]
-	for a := range fb.d.Attrs {
+	for a := range fb.attrs {
 		var s split
 		var ok bool
-		if fb.d.Attrs[a].Type == dataset.Numeric {
+		if fb.attrs[a].Type == dataset.Numeric {
 			ok = fb.numericSplit(nd.sorted[a], a, dist, totalW, &s)
 		} else {
 			ok = fb.nominalSplit(nd.rows, a, dist, totalW, &s)
@@ -274,7 +302,7 @@ func (fb *fastBuilder) numericSplit(sorted []int32, attr int, dist []float64, to
 // nominalSplit evaluates a multi-way nominal split into out, counting
 // branch distributions in the builder's flat scratch.
 func (fb *fastBuilder) nominalSplit(rows []int32, attr int, dist []float64, totalW float64, out *split) bool {
-	nVals := len(fb.d.Attrs[attr].Values)
+	nVals := len(fb.attrs[attr].Values)
 	if nVals < 2 {
 		return false
 	}
@@ -321,10 +349,10 @@ func (fb *fastBuilder) nominalSplit(rows []int32, attr int, dist []float64, tota
 // allocations per node (arena, headers, child nodes) in place of
 // per-child append chains that each re-grow logarithmically.
 func (fb *fastBuilder) partition(nd *fastNode, s *split) []fastNode {
-	numeric := fb.d.Attrs[s.attr].Type == dataset.Numeric
+	numeric := fb.attrs[s.attr].Type == dataset.Numeric
 	nBranches := 2
 	if !numeric {
-		nBranches = len(fb.d.Attrs[s.attr].Values)
+		nBranches = len(fb.attrs[s.attr].Values)
 	}
 	col := fb.cols[s.attr]
 	branchOf := func(r int32) int {
@@ -352,7 +380,7 @@ func (fb *fastBuilder) partition(nd *fastNode, s *split) []fastNode {
 	}
 
 	n := len(nd.rows)
-	nAttrs := len(fb.d.Attrs)
+	nAttrs := len(fb.attrs)
 	// One arena backs the row lists and every numeric attribute's sort
 	// order; hdrs backs each child's per-attribute slice table.
 	arena := make([]int32, n*(1+fb.nNumeric))

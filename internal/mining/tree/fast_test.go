@@ -115,11 +115,14 @@ func TestFastMatchesGeneralProperty(t *testing.T) {
 
 func TestHasMissing(t *testing.T) {
 	d := mixedDataset(10, 1)
-	if hasMissing(d) {
+	if d.HasMissing() {
 		t.Fatal("no missing expected")
 	}
+	// Direct Values mutation bypasses the cache maintenance in Add, so
+	// the cached answer must be dropped explicitly.
 	d.Instances[3].Values[0] = dataset.Missing
-	if !hasMissing(d) {
+	d.InvalidateMissing()
+	if !d.HasMissing() {
 		t.Fatal("missing not detected")
 	}
 }

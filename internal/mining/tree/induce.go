@@ -78,7 +78,7 @@ func (l Learner) FitTree(d *dataset.Dataset) (*Tree, error) {
 		return nil, fmt.Errorf("tree: %w", err)
 	}
 	var root *Node
-	if hasMissing(d) {
+	if d.HasMissing() {
 		// General path: fractional instance weights across branches.
 		b := &builder{cfg: l.Config, d: d}
 		items := make([]item, d.Len())
@@ -97,6 +97,42 @@ func (l Learner) FitTree(d *dataset.Dataset) (*Tree, error) {
 		root = fb.build(fb.rootNode(), 0)
 	}
 	t := &Tree{Root: root, Attrs: d.Attrs, ClassValues: d.ClassValues}
+	if !l.Config.NoPrune {
+		prune(t.Root, l.Config.confidence())
+	}
+	return t, nil
+}
+
+// FitView implements mining.ViewFitter: induction straight from a
+// columnar training view, skipping instance materialisation.
+func (l Learner) FitView(v *dataset.View) (mining.Classifier, error) {
+	t, err := l.FitTreeView(v)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+var _ mining.ViewFitter = Learner{}
+
+// FitTreeView induces a tree from a columnar dataset.View. When the
+// view carries pre-merged sort orders the builder starts directly on
+// the shared arrays — no missing-value rescan, no column build, no root
+// sort. A view without sort orders (missing values in the store, or
+// NaN-valued synthetics) is materialised and routed through FitTree,
+// which lands in the general fractional-weight builder exactly as the
+// instance-based path would. The view's arrays are only read, so one
+// view may feed many concurrent FitTreeView calls.
+func (l Learner) FitTreeView(v *dataset.View) (*Tree, error) {
+	if v.Len() == 0 {
+		return nil, ErrEmptyTraining
+	}
+	if v.HasMissing() {
+		return l.FitTree(v.Materialize())
+	}
+	fb := newViewBuilder(l.Config, v)
+	root := fb.build(fb.rootNode(), 0)
+	t := &Tree{Root: root, Attrs: v.Attrs(), ClassValues: v.ClassValues()}
 	if !l.Config.NoPrune {
 		prune(t.Root, l.Config.confidence())
 	}

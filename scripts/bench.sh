@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# bench.sh — run the refinement-grid perf benchmarks and emit a
+# machine-readable snapshot, so the perf trajectory is comparable
+# PR-over-PR.
+#
+# Usage:
+#   scripts/bench.sh            # writes BENCH_refine.json in the repo root
+#   BENCHTIME=3x scripts/bench.sh
+#   OUT=/tmp/bench.json scripts/bench.sh
+#
+# The benchmark set covers the grid end-to-end (BenchmarkRefineGrid,
+# serial + budgeted workers) plus the micro kernels it is built from
+# (C4.5 induction, SMOTE, cross-validation).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_refine.json}"
+PATTERN='BenchmarkRefineGrid|BenchmarkMicro_C45Induction|BenchmarkMicro_SMOTE|BenchmarkMicro_CrossValidate'
+
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . 2>&1)"
+printf '%s\n' "$RAW"
+
+printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                  name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    rows = rows == "" ? row : rows ",\n" row
+}
+END {
+    if (rows == "") { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print "{"
+    print "  \"generated_by\": \"scripts/bench.sh\","
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    print "  \"benchmarks\": ["
+    print rows
+    print "  ]"
+    print "}"
+}' > "$OUT"
+
+echo "wrote $OUT"
