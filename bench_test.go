@@ -15,9 +15,11 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
+	"edem/internal/campaign"
 	"edem/internal/core"
 	"edem/internal/dataset"
 	"edem/internal/mining"
@@ -30,6 +32,7 @@ import (
 	"edem/internal/mining/sampling"
 	"edem/internal/mining/tree"
 	"edem/internal/predicate"
+	"edem/internal/propane"
 	"edem/internal/stats"
 	"edem/internal/telemetry"
 )
@@ -465,6 +468,80 @@ func BenchmarkRefineGrid(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkCampaign measures the resumable campaign engine against the
+// single-shot reference path on one mid-sized campaign (MG-A1):
+// propane is the baseline, engine adds sharding/retry bookkeeping,
+// journaled adds checkpoint writes, and replay resumes a complete
+// journal — the cost of rebuilding the dataset with zero target runs.
+// Every sub-benchmark reports end-to-end throughput in runs/s; the
+// engine-vs-propane gap is the fault-tolerance overhead and the
+// replay-vs-journaled gap is the resume saving (EXPERIMENTS.md).
+func BenchmarkCampaign(b *testing.B) {
+	opts := benchOpts()
+	target, spec, err := core.SpecFor("MG-A1", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := len(spec.Jobs(mustModule(b, target, spec.Module)))
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(plan*b.N)/b.Elapsed().Seconds(), "runs/s")
+	}
+
+	b.Run("propane", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := propane.Run(context.Background(), target, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+	b.Run("engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.Run(context.Background(), target, spec, campaign.Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+	b.Run("journaled", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			cfg := campaign.Config{Journal: filepath.Join(dir, fmt.Sprint(i))}
+			if _, err := campaign.Run(context.Background(), target, spec, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+	b.Run("replay", func(b *testing.B) {
+		cfg := campaign.Config{Journal: filepath.Join(b.TempDir(), "journal")}
+		if _, err := campaign.Run(context.Background(), target, spec, cfg); err != nil {
+			b.Fatal(err)
+		}
+		cfg.Resume = true
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := campaign.Run(context.Background(), target, spec, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ShardsRun != 0 {
+				b.Fatalf("replay executed %d shards", res.ShardsRun)
+			}
+		}
+		report(b)
+	})
+}
+
+func mustModule(b *testing.B, target propane.Target, name string) propane.ModuleInfo {
+	b.Helper()
+	mod, ok := propane.Module(target, name)
+	if !ok {
+		b.Fatalf("module %q not found", name)
+	}
+	return mod
 }
 
 func BenchmarkTables_ParallelRows(b *testing.B) {

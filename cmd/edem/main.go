@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	_ "expvar" // /debug/vars on the -debug-addr server
 	"flag"
 	"fmt"
@@ -18,6 +19,7 @@ import (
 	_ "net/http/pprof" // /debug/pprof on the -debug-addr server
 	"os"
 
+	"edem/internal/campaign"
 	"edem/internal/core"
 	"edem/internal/dataset"
 	"edem/internal/mining/attrsel"
@@ -43,6 +45,8 @@ func run(args []string) error {
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "campaign":
+		return cmdCampaign(rest)
 	case "tables":
 		return cmdTables(rest)
 	case "run":
@@ -74,6 +78,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage: edem <command> [flags]
 
 commands:
+  campaign  -dataset ID|-all -journal DIR [-resume]       run a resumable fault-injection campaign
+            [-shards N] [-timeout D] [-max-retries N] [-stop-after N] [-stats]
   tables    -table 2|3|4 [-full] [-scale N] [-stride N]   regenerate a paper table
   run       -dataset ID [-full]                           run Steps 1-4 on one dataset
   tree      -dataset ID                                   print the induced tree (Figure 2)
@@ -84,10 +90,16 @@ commands:
   rank      -dataset ID [-method ig|gr|su]                rank the module variables by class information
   list                                                    list Table II dataset IDs
 
-common flags (all commands): -seed N -scale N -stride N -workers N
+common flags (all commands): -seed N -scale N -stride N -workers N -journal DIR
 telemetry:  -metrics-out FILE   write a JSON metrics snapshot on exit
             -trace              print the phase span tree to stderr
             -debug-addr ADDR    serve pprof + expvar (e.g. localhost:6060)
+
+With -journal DIR, every command that builds fault-injection datasets
+(tables, run, tree, inject, validate, latency, rules, rank) checkpoints
+campaigns to DIR/<dataset-id> and resumes whatever is already there, so
+a completed "edem campaign" journal makes Tables II-IV a pure replay.
+"edem campaign" itself refuses an existing journal without -resume.
 `)
 }
 
@@ -97,6 +109,11 @@ func commonOpts(fs *flag.FlagSet) (*core.Options, *telemetryCfg) {
 	fs.IntVar(&opts.TestCases, "scale", opts.TestCases, "test cases for 7Z/MG campaigns")
 	fs.IntVar(&opts.BitStride, "stride", opts.BitStride, "bit sampling stride (1 = every bit, the paper's setting)")
 	fs.IntVar(&opts.Workers, "workers", 0, "global worker budget shared across all nesting levels (0 = all cores)")
+	fs.StringVar(&opts.Journal, "journal", "", "campaign checkpoint root (one journal per dataset under DIR)")
+	// Dataset consumers resume implicitly: a half-finished journal is
+	// completed, a finished one is replayed without target runs. Only
+	// `edem campaign` demands the explicit -resume acknowledgement.
+	opts.Resume = true
 	tel := &telemetryCfg{}
 	fs.StringVar(&tel.metricsOut, "metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
 	fs.BoolVar(&tel.trace, "trace", false, "print the phase span tree to stderr on exit")
@@ -174,6 +191,99 @@ func (t *telemetryCfg) finish() {
 	}
 	telemetry.SetDefault(nil)
 	t.reg = nil
+}
+
+// cmdCampaign drives the resumable campaign engine directly: it runs
+// (or resumes) the Step 1 fault-injection sweep for one dataset or all
+// 18, checkpointing each shard to the journal. A run killed at any
+// point — or stopped deliberately with -stop-after — picks up from its
+// last checkpoint under -resume and yields a bit-identical dataset.
+func cmdCampaign(args []string) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	id := fs.String("dataset", "", "Table II dataset ID (empty with -all sweeps all 18)")
+	all := fs.Bool("all", false, "run every Table II dataset")
+	resume := fs.Bool("resume", false, "continue an existing journal instead of refusing it")
+	stopAfter := fs.Int("stop-after", 0, "stop gracefully after N new checkpoints (0 = run to completion); the journal stays resumable")
+	showStats := fs.Bool("stats", false, "print the per-variable failure summary")
+	opts, tel := commonOpts(fs)
+	fs.IntVar(&opts.Shards, "shards", 0, "checkpoint shard count (0 = ~256 runs per shard)")
+	fs.DurationVar(&opts.RunTimeout, "timeout", 0, "per-run watchdog; hung runs are retried then skipped (0 = none)")
+	fs.IntVar(&opts.MaxRetries, "max-retries", 2, "extra attempts for a hung or crashed-engine run before skipping the cell")
+	if err := parseArgs(fs, args, opts, tel); err != nil {
+		return err
+	}
+	defer tel.finish()
+	opts.Resume = *resume
+	ids := []string{*id}
+	switch {
+	case *all && *id != "":
+		return fmt.Errorf("use either -dataset or -all, not both")
+	case *all:
+		ids = core.AllDatasetIDs()
+	case *id == "":
+		return fmt.Errorf("campaign needs -dataset ID or -all")
+	}
+
+	for _, dsID := range ids {
+		if err := runOneCampaign(dsID, opts, *stopAfter, *showStats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runOneCampaign executes one dataset's campaign and reports resume
+// accounting, skipped cells and (optionally) per-variable stats. A
+// -stop-after interruption is a success: the point of the engine is
+// that stopping is safe.
+func runOneCampaign(id string, opts *core.Options, stopAfter int, showStats bool) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stopped := false
+	newCheckpoints := 0
+	o := *opts
+	// The progress hook is also the -stop-after trigger: it only fires
+	// for newly executed shards, so restored checkpoints never count
+	// against the stop budget.
+	progress := func(done, total int) {
+		fmt.Fprintf(os.Stderr, "  %s: checkpoint %d/%d\n", id, done, total)
+		newCheckpoints++
+		if stopAfter > 0 && newCheckpoints >= stopAfter && !stopped {
+			stopped = true
+			cancel()
+		}
+	}
+	target, spec, err := core.SpecFor(id, o)
+	if err != nil {
+		return err
+	}
+	cfg := o.CampaignConfig(id)
+	cfg.OnCheckpoint = progress
+	res, err := campaign.Run(ctx, target, spec, cfg)
+	if err != nil {
+		if stopped && errors.Is(err, context.Canceled) {
+			fmt.Printf("campaign %s: stopped after %d new checkpoints; resume with:\n  edem campaign -dataset %s -journal %s -resume\n",
+				id, newCheckpoints, id, o.Journal)
+			return nil
+		}
+		return err
+	}
+	c := res.Campaign
+	fmt.Printf("campaign %s: plan %.12s, %d/%d shards run (%d restored), %d retries\n",
+		id, res.PlanHash, res.ShardsRun, res.Shards, res.ShardsRestored, res.Retries)
+	fmt.Printf("  %d injected runs, %d usable, %d failures\n",
+		len(c.Records), c.Usable(), c.Failures())
+	if len(res.Skipped) > 0 {
+		fmt.Printf("  %d cells skipped:\n", len(res.Skipped))
+		for _, s := range res.Skipped {
+			fmt.Printf("    job %d (tc %d, %s, bit %d, t %d): %s (%d attempts)\n",
+				s.Job, s.TC, s.Var, s.Bit, s.Time, s.Reason, s.Attempts)
+		}
+	}
+	if showStats {
+		fmt.Print(propane.FormatStats(propane.Summarize(c)))
+	}
+	return nil
 }
 
 func cmdTables(args []string) error {

@@ -27,6 +27,7 @@ import (
 	"io"
 
 	"edem/internal/bitflip"
+	"edem/internal/campaign"
 	"edem/internal/core"
 	"edem/internal/dataset"
 	"edem/internal/mining"
@@ -119,6 +120,31 @@ func Refine(ctx context.Context, d *Dataset, grid []SamplingConfig, opts Options
 // RefineGrid returns the refinement search grid; full selects the
 // paper-scale grid.
 func RefineGrid(full bool) []SamplingConfig { return core.RefineGrid(full) }
+
+// Resumable campaign engine types. The engine shards a campaign into
+// journaled checkpoints so killed runs resume from the last checkpoint
+// and persistently failing cells degrade to skip-and-record; see
+// internal/campaign for the guarantees.
+type (
+	// CampaignConfig tunes the resumable campaign engine (journal
+	// directory, resume, shard count, per-run timeout, retry policy).
+	CampaignConfig = campaign.Config
+	// CampaignOutcome is the engine result: the assembled records plus
+	// resume accounting and any skipped cells.
+	CampaignOutcome = campaign.Result
+	// SkippedCell records one injection-space cell the engine gave up
+	// on, with the reason.
+	SkippedCell = campaign.SkippedCell
+)
+
+// RunResumableCampaign runs (or resumes) a journaled fault-injection
+// campaign against a user-provided target system. With a zero Config it
+// behaves like RunCampaign but adds timeout, retry and skip handling;
+// with Config.Journal set, the run checkpoints and resumes. The records
+// are bit-identical to an uninterrupted RunCampaign of the same spec.
+func RunResumableCampaign(ctx context.Context, target Target, spec Spec, cfg CampaignConfig) (*CampaignOutcome, error) {
+	return campaign.Run(ctx, target, spec, cfg)
+}
 
 // SetWorkerBudget sets the process-wide worker budget shared by every
 // parallel section (campaign runs, CV folds, refinement cells, table

@@ -8,6 +8,11 @@
 // complement encoding, and bool faults invert the value. This matches the
 // error space explored by PROPANE-style single-bit-flip campaigns: one
 // injected run per (variable, bit position, injection time).
+//
+// Role in the methodology: the fault model of Step 1 (fault injection
+// analysis) — every injected campaign run applies exactly one of these
+// flips. Concurrency: the package is stateless pure functions over
+// values; everything here is safe for unrestricted concurrent use.
 package bitflip
 
 import (

@@ -1,0 +1,301 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"edem/internal/propane"
+)
+
+// Journal layout: a directory holding one manifest and one append-only
+// checkpoint log.
+//
+//	<dir>/manifest.json      content-addressed plan description
+//	<dir>/checkpoints.jsonl  one JSON line per completed shard
+//
+// The manifest is written once, atomically (tmp + rename), before any
+// shard executes. Checkpoint lines are appended and fsynced as shards
+// complete, in completion order — which varies with scheduling — so the
+// log is an unordered set keyed by shard index; resume sorts it back
+// into plan order. A line truncated by a kill mid-append fails to parse
+// and is discarded on load: the shard it described simply re-runs.
+//
+// Sampled states are serialised as 16-digit hex IEEE-754 bit patterns,
+// not JSON numbers: corrupted runs legitimately sample NaN and ±Inf
+// (which encoding/json rejects) and bit patterns round-trip exactly,
+// which the resume bit-identity guarantee depends on.
+const (
+	manifestName    = "manifest.json"
+	checkpointsName = "checkpoints.jsonl"
+)
+
+// ErrJournalExists reports an existing journal opened without Resume.
+var ErrJournalExists = errors.New("campaign: journal already exists (pass resume to continue it)")
+
+// ErrPlanMismatch reports a journal whose manifest describes a
+// different plan than the one being run.
+var ErrPlanMismatch = errors.New("campaign: journal belongs to a different plan")
+
+// manifest is the on-disk description of a plan.
+type manifest struct {
+	Version int           `json:"version"`
+	Plan    string        `json:"plan"`
+	Dataset string        `json:"dataset"`
+	Target  string        `json:"target"`
+	Module  string        `json:"module"`
+	Vars    []manifestVar `json:"vars"`
+	Jobs    int           `json:"jobs"`
+	Shards  int           `json:"shards"`
+	Spec    manifestSpec  `json:"spec"`
+}
+
+type manifestVar struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// manifestSpec records the result-determining spec fields for human
+// inspection and for rebuilding the plan on resume. Execution knobs
+// (workers, timeout, retries) are deliberately absent: they may change
+// between the original run and a resume.
+type manifestSpec struct {
+	InjectAt  int    `json:"inject_at"`
+	SampleAt  int    `json:"sample_at"`
+	Times     []int  `json:"times"`
+	TestCases int    `json:"test_cases"`
+	Seed      uint64 `json:"seed"`
+	BitStride int    `json:"bit_stride"`
+}
+
+func newManifest(p *Plan) manifest {
+	vars := make([]manifestVar, len(p.Module.Vars))
+	for i, v := range p.Module.Vars {
+		vars[i] = manifestVar{Name: v.Name, Kind: v.Kind.String()}
+	}
+	return manifest{
+		Version: planVersion,
+		Plan:    p.Hash,
+		Dataset: p.Spec.Dataset,
+		Target:  p.Target,
+		Module:  p.Module.Name,
+		Vars:    vars,
+		Jobs:    len(p.Jobs),
+		Shards:  p.Shards,
+		Spec: manifestSpec{
+			InjectAt:  int(p.Spec.InjectAt),
+			SampleAt:  int(p.Spec.SampleAt),
+			Times:     p.Spec.InjectionTimes,
+			TestCases: p.Spec.TestCases,
+			Seed:      p.Spec.Seed,
+			BitStride: p.Spec.BitStride,
+		},
+	}
+}
+
+// checkpoint is one journal line: the complete outcome of one shard.
+// Records appear in job order and cover the shard's whole range;
+// skipped cells keep their identifying (unsampled) record in Records
+// and additionally carry a reason here.
+type checkpoint struct {
+	Plan    string        `json:"plan"`
+	Shard   int           `json:"shard"`
+	Records []recordJSON  `json:"records"`
+	Skipped []SkippedCell `json:"skipped,omitempty"`
+}
+
+// recordJSON is the journal encoding of propane.Record. State values
+// are IEEE-754 bit patterns in hex (see the package comment above).
+type recordJSON struct {
+	TC       int      `json:"tc"`
+	Var      string   `json:"var"`
+	Bit      int      `json:"bit"`
+	Time     int      `json:"t"`
+	State    []string `json:"state"`
+	Injected bool     `json:"inj,omitempty"`
+	Sampled  bool     `json:"smp,omitempty"`
+	Failure  bool     `json:"fail,omitempty"`
+	Crashed  bool     `json:"crash,omitempty"`
+}
+
+func encodeRecord(r propane.Record) recordJSON {
+	var state []string
+	if r.State != nil {
+		state = make([]string, len(r.State))
+		for i, v := range r.State {
+			state[i] = strconv.FormatUint(math.Float64bits(v), 16)
+		}
+	}
+	return recordJSON{
+		TC:       r.TestCase,
+		Var:      r.Var,
+		Bit:      r.Bit,
+		Time:     r.InjectionTime,
+		State:    state,
+		Injected: r.Injected,
+		Sampled:  r.Sampled,
+		Failure:  r.Failure,
+		Crashed:  r.Crashed,
+	}
+}
+
+func decodeRecord(r recordJSON) (propane.Record, error) {
+	var state []float64
+	if r.State != nil {
+		state = make([]float64, len(r.State))
+		for i, s := range r.State {
+			bits, err := strconv.ParseUint(s, 16, 64)
+			if err != nil {
+				return propane.Record{}, fmt.Errorf("campaign: bad state bits %q: %w", s, err)
+			}
+			state[i] = math.Float64frombits(bits)
+		}
+	}
+	return propane.Record{
+		TestCase:      r.TC,
+		Var:           r.Var,
+		Bit:           r.Bit,
+		InjectionTime: r.Time,
+		State:         state,
+		Injected:      r.Injected,
+		Sampled:       r.Sampled,
+		Failure:       r.Failure,
+		Crashed:       r.Crashed,
+	}, nil
+}
+
+// journal owns the open checkpoint log of one running campaign. Append
+// is safe for concurrent use by shard workers; everything else happens
+// before workers start or after they finish.
+type journal struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// createJournal initialises a fresh journal directory: the manifest is
+// staged to a temp file and renamed into place so a kill during
+// creation leaves either no journal or a complete one, never a torn
+// manifest.
+func createJournal(dir string, p *Plan) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	data, err := json.MarshalIndent(newManifest(p), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return nil, err
+	}
+	return openCheckpointLog(dir)
+}
+
+// openJournal opens an existing journal for appending, after the
+// caller has validated its manifest.
+func openJournal(dir string) (*journal, error) {
+	return openCheckpointLog(dir)
+}
+
+func openCheckpointLog(dir string) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, checkpointsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{dir: dir, f: f}, nil
+}
+
+// append writes one checkpoint line and fsyncs it, so a completed
+// shard survives any subsequent kill.
+func (j *journal) append(cp checkpoint) error {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(data); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// readManifest loads <dir>/manifest.json. The boolean reports whether
+// a manifest exists at all; any other read or decode problem is an
+// error.
+func readManifest(dir string) (manifest, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("campaign: corrupt manifest in %s: %w", dir, err)
+	}
+	return m, true, nil
+}
+
+// readCheckpoints loads every decodable checkpoint of plan planHash
+// from the journal, keyed by shard index. Undecodable lines (the
+// torn tail of a killed append) are counted and skipped; duplicate
+// shards keep the first occurrence (shards are deterministic, so
+// duplicates are identical by construction). Lines recording a
+// different plan hash are an error: the journal was cross-wired.
+func readCheckpoints(dir, planHash string) (map[int]checkpoint, int, error) {
+	f, err := os.Open(filepath.Join(dir, checkpointsName))
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]checkpoint{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+
+	done := make(map[int]checkpoint)
+	torn := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var cp checkpoint
+		if err := json.Unmarshal(line, &cp); err != nil {
+			torn++
+			continue
+		}
+		if cp.Plan != planHash {
+			return nil, 0, fmt.Errorf("%w: checkpoint for plan %.12s in journal for plan %.12s",
+				ErrPlanMismatch, cp.Plan, planHash)
+		}
+		if _, ok := done[cp.Shard]; !ok {
+			done[cp.Shard] = cp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	return done, torn, nil
+}

@@ -1,0 +1,110 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"edem/internal/propane"
+)
+
+// Plan is the deterministic sharded work plan of one campaign: the
+// canonical job enumeration of the injection space (propane.Spec.Jobs)
+// cut into contiguous shards, plus a content hash that names the plan.
+//
+// Two plans with the same hash enumerate byte-for-byte the same work in
+// the same order, so a journal written under one can be resumed under
+// the other. The hash covers everything that determines the records —
+// target identity, module interface, spec parameters, job count and
+// shard boundaries — and deliberately excludes execution knobs that do
+// not (worker budget, timeouts, retry policy).
+type Plan struct {
+	Spec   propane.Spec
+	Target string
+	Module propane.ModuleInfo
+	Jobs   []propane.Job
+	// Shards is the effective shard count after clamping to [1, len(Jobs)].
+	Shards int
+	// Hash is the hex SHA-256 of the canonical plan description.
+	Hash string
+}
+
+// planVersion is bumped whenever the canonical description or the
+// journal schema changes incompatibly, invalidating older journals.
+const planVersion = 1
+
+// NewPlan resolves spec against target and builds the sharded work
+// plan. shards <= 0 selects a default that keeps shards around
+// defaultShardJobs jobs each — small enough that a killed run loses
+// little work, large enough that checkpoint appends stay rare.
+func NewPlan(target propane.Target, spec propane.Spec, shards int) (*Plan, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	mod, ok := propane.Module(target, spec.Module)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %q", propane.ErrModuleNotFound, spec.Module, target.Name())
+	}
+	jobs := spec.Jobs(mod)
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("campaign: plan for %s has no jobs", spec.Dataset)
+	}
+	if shards <= 0 {
+		shards = (len(jobs) + defaultShardJobs - 1) / defaultShardJobs
+	}
+	if shards > len(jobs) {
+		shards = len(jobs)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	p := &Plan{
+		Spec:   spec,
+		Target: target.Name(),
+		Module: mod,
+		Jobs:   jobs,
+		Shards: shards,
+	}
+	p.Hash = p.hash()
+	return p, nil
+}
+
+// defaultShardJobs sizes auto-sharded plans: ~256 injected runs per
+// checkpoint.
+const defaultShardJobs = 256
+
+// hash computes the canonical content hash of the plan.
+func (p *Plan) hash() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "edem-campaign-plan v%d\n", planVersion)
+	fmt.Fprintf(&b, "target %q\n", p.Target)
+	fmt.Fprintf(&b, "module %q\n", p.Module.Name)
+	for _, v := range p.Module.Vars {
+		fmt.Fprintf(&b, "var %q %s\n", v.Name, v.Kind)
+	}
+	s := &p.Spec
+	fmt.Fprintf(&b, "dataset %q\n", s.Dataset)
+	fmt.Fprintf(&b, "inject %d sample %d\n", s.InjectAt, s.SampleAt)
+	fmt.Fprintf(&b, "times %v\n", s.InjectionTimes)
+	fmt.Fprintf(&b, "testcases %d seed %d stride %d\n", s.TestCases, s.Seed, s.BitStride)
+	fmt.Fprintf(&b, "jobs %d shards %d\n", len(p.Jobs), p.Shards)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// ShardRange returns the half-open job index range [lo, hi) of shard i.
+// Shards are contiguous blocks of the canonical enumeration, so
+// restoring shard i is a straight copy into the records array.
+func (p *Plan) ShardRange(i int) (lo, hi int) {
+	size := (len(p.Jobs) + p.Shards - 1) / p.Shards
+	lo = i * size
+	hi = lo + size
+	if hi > len(p.Jobs) {
+		hi = len(p.Jobs)
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}

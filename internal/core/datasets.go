@@ -12,13 +12,24 @@
 //
 // It also defines the 18 fault-injection dataset configurations of
 // Table II and the re-validation procedure of §VII-D.
+//
+// Concurrency: the package fans work out internally (datasets, folds,
+// grid cells, campaign shards) through the shared internal/parallel
+// budget and is safe to call from multiple goroutines with distinct
+// Options values; results are deterministic and worker-count-invariant.
+// Options is a value type — each call owns its copy. Journaled campaign
+// state (Options.Journal) follows internal/campaign's contract: one
+// running campaign per journal directory.
 package core
 
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
+	"time"
 
+	"edem/internal/campaign"
 	"edem/internal/dataset"
 	"edem/internal/propane"
 	"edem/internal/targets/flightgear"
@@ -49,6 +60,39 @@ type Options struct {
 	TestCases int
 	// Folds is the cross-validation fold count (default 10).
 	Folds int
+
+	// Journal, when set, is the root checkpoint directory of the
+	// campaign engine: each dataset journals to Journal/<ID>, a killed
+	// run resumes from its last checkpoint, and a complete journal
+	// rebuilds the dataset without executing a single target run.
+	Journal string
+	// Resume permits continuing existing journals under Journal; the
+	// table/dataset consumers set it implicitly, `edem campaign`
+	// requires the explicit -resume flag.
+	Resume bool
+	// Shards overrides the engine's checkpoint shard count (0 = auto).
+	Shards int
+	// RunTimeout bounds one target run attempt (0 = no watchdog).
+	RunTimeout time.Duration
+	// MaxRetries is the number of extra attempts for an infrastructure
+	// failure (hang, engine panic) before a cell is skipped.
+	MaxRetries int
+}
+
+// CampaignConfig derives the engine configuration for one dataset. The
+// journal root fans out to one directory per dataset so an 18-dataset
+// table sweep is 18 independently resumable journals.
+func (o Options) CampaignConfig(id string) campaign.Config {
+	cfg := campaign.Config{
+		Shards:     o.Shards,
+		Timeout:    o.RunTimeout,
+		MaxRetries: o.MaxRetries,
+	}
+	if o.Journal != "" {
+		cfg.Journal = filepath.Join(o.Journal, id)
+		cfg.Resume = o.Resume
+	}
+	return cfg
 }
 
 // DefaultOptions returns the laptop-scale defaults.
@@ -204,16 +248,31 @@ func SpecFor(id string, opts Options) (propane.Target, propane.Spec, error) {
 }
 
 // Campaign runs Step 1 (fault injection analysis) for the dataset ID.
+// All dataset generation flows through the resumable campaign engine
+// (internal/campaign): without a journal configured the engine runs
+// in-memory and is bit-identical to propane.Run; with Options.Journal
+// set, the run checkpoints to Journal/<ID> and resumes from there.
 func Campaign(ctx context.Context, id string, opts Options) (*propane.Campaign, error) {
+	res, err := CampaignResult(ctx, id, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Campaign, nil
+}
+
+// CampaignResult runs Step 1 through the campaign engine and returns
+// the full engine result: the records plus resume accounting and any
+// skipped cells. `edem campaign` reports from this.
+func CampaignResult(ctx context.Context, id string, opts Options) (*campaign.Result, error) {
 	target, spec, err := SpecFor(id, opts)
 	if err != nil {
 		return nil, err
 	}
-	c, err := propane.Run(ctx, target, spec)
+	res, err := campaign.Run(ctx, target, spec, opts.CampaignConfig(id))
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign %s: %w", id, err)
 	}
-	return c, nil
+	return res, nil
 }
 
 // Preprocess runs Step 2's format transformation: the campaign log

@@ -3,6 +3,16 @@
 // cross-validation folds, and the two on-disk formats used by the
 // methodology — the PROPANE fault-injection log format and the ARFF
 // format of the Weka suite (paper §V-C step 1: format transformation).
+//
+// Role in the methodology: Step 2 (preprocessing) — campaign logs
+// become weighted instances here, and every later step consumes this
+// model. Ownership/concurrency: Clone/Subset/Filter deep-copy and
+// yield independently mutable datasets; CloneShared/SubsetShared alias
+// the Values slices and are for read-only consumers; Store and View
+// (DESIGN.md §10) are immutable after construction and safe for
+// concurrent read — many fold workers train from one store without
+// locking. A plain *Dataset is not synchronised: share it only after
+// mutation stops.
 package dataset
 
 import (

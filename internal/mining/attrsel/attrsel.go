@@ -3,6 +3,12 @@
 // they individually carry about the failure class. Rankings guide both
 // instrumentation (which variables are worth logging) and detector
 // placement discussions (paper §II: the location problem).
+//
+// Role in the methodology: an aid to Step 2's preprocessing decisions
+// and to the location problem, not part of the Table III/IV pipeline.
+// Concurrency: evaluators are stateless value types; Rank reads the
+// dataset without mutating or retaining it, so concurrent rankings of
+// shared data are safe.
 package attrsel
 
 import (

@@ -3,6 +3,12 @@
 // estimates for nominal ones. The paper (§V-C) notes that learners of
 // this family benefit from the signed logarithmic attribute mapping on
 // fault-injection data; the learner applies it optionally.
+//
+// Role in the methodology: a Step 3 comparator in the learner-comparison
+// ablation (non-symbolic, so not a predicate source). Concurrency: it
+// follows the internal/mining contract — Fit neither mutates nor
+// retains the training data, and the fitted classifier is immutable and
+// safe for concurrent use.
 package bayes
 
 import (

@@ -5,6 +5,12 @@
 // learner that exposes class distributions. In safety-critical systems
 // a missed failure (false negative) costs far more than a false alarm;
 // these tools let the induction process reflect that.
+//
+// Role in the methodology: an alternative imbalance treatment for
+// Steps 3-4, compared against sampling in the ablations. Concurrency:
+// cost matrices/vectors are immutable values; the weighting learner
+// wrapper clones the dataset before reweighting (the caller's data is
+// never mutated) and follows the internal/mining contract otherwise.
 package costs
 
 import (

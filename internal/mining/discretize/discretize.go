@@ -5,6 +5,12 @@
 // paper uses). Discretization lets frequency-based learners such as
 // Naïve Bayes and the rule inducers consume the continuous program
 // state captured by fault injection.
+//
+// Role in the methodology: a Step 2 preprocessing option feeding the
+// comparator learners of the ablations. Concurrency: a fitted
+// Discretizer is immutable and safe for concurrent Apply calls; Fit
+// reads the training data without mutating it, and Apply returns a new
+// dataset, leaving its input untouched.
 package discretize
 
 import (

@@ -4,6 +4,13 @@
 // boosting here supports that through an optional per-class cost vector
 // applied to the weight updates, and both ensembles slot into the
 // cross-validation harness as ordinary learners.
+//
+// Role in the methodology: Step 3 comparators in the ablations
+// (ensembles of trees lose the single-tree readability that makes
+// predicates extractable, paper §VIII). Concurrency: both ensembles
+// follow the internal/mining contract — they clone the training data
+// before resampling/reweighting it, and a fitted ensemble is immutable
+// and safe for concurrent classification.
 package ensemble
 
 import (

@@ -3,6 +3,14 @@
 // specificity, the single-model trapezoid AUC, F1, geometric mean,
 // Euclidean distance from the perfect classifier, expected
 // misclassification cost) and stratified k-fold cross-validation.
+//
+// Role in the methodology: the measurement harness of Steps 3 and 4 —
+// every Table III/IV figure is a CrossValidate output. Concurrency:
+// CrossValidate runs folds in parallel on the shared internal/parallel
+// budget; per-fold RNGs are derived from (seed, fold index) alone and
+// results land in indexed slots, so output is bit-identical for any
+// worker count. Metric types are plain values; share them only
+// read-only.
 package eval
 
 import (

@@ -3,6 +3,11 @@
 // comparator in the learner-comparison ablation: its decision boundary
 // cannot be extracted as a first-order predicate, which is exactly why
 // the paper restricts detector generation to symbolic learners.
+//
+// Role in the methodology: a Step 3 comparator only. Concurrency: Fit
+// copies the training instances into the classifier (the one learner
+// here that retains data — its own copy, never the caller's dataset);
+// the fitted classifier is immutable and safe for concurrent use.
 package knn
 
 import (

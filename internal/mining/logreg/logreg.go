@@ -3,6 +3,12 @@
 // discusses (§IV, §V-C). Like Naïve Bayes it benefits from the signed
 // logarithmic attribute mapping on fault-injection data, where raw
 // bit-flip magnitudes span hundreds of orders of magnitude.
+//
+// Role in the methodology: a Step 3 comparator in the learner-comparison
+// ablation (non-symbolic, so not a predicate source). Concurrency: it
+// follows the internal/mining contract — Fit neither mutates nor
+// retains the training data, and the fitted classifier is immutable and
+// safe for concurrent use.
 package logreg
 
 import (

@@ -7,6 +7,15 @@
 // (k-nearest neighbours); eval provides confusion-matrix metrics and
 // stratified cross-validation; sampling provides SMOTE and random
 // over/undersampling for class-imbalance handling.
+//
+// Role in the methodology: Steps 3 and 4 (model generation and
+// refinement) program against these interfaces. Ownership/concurrency
+// contract for all implementations in the subpackages: a Learner's Fit
+// must not retain or mutate the training dataset beyond the call, a
+// fitted Classifier is immutable and safe for concurrent Classify
+// calls, and a Learner value itself is safe to share across goroutines
+// because Fit keeps its working state on the stack or in per-call
+// allocations (fold- and cell-level parallelism rely on this).
 package mining
 
 import "edem/internal/dataset"

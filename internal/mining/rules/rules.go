@@ -2,6 +2,13 @@
 // decision tree induction (the other symbolic family the paper
 // discusses in §IV/§V-C): ZeroR (majority class), OneR (Holte's
 // single-attribute rules) and a PRISM-style covering rule inducer.
+//
+// Role in the methodology: Step 3 comparators; being symbolic, PRISM
+// rule sets can also feed internal/predicate (edem rules) as an
+// alternative predicate source. Concurrency: the learners follow the
+// internal/mining contract — PRISM's covering loop works on a shared-
+// value subset it filters itself, never mutating the caller's data —
+// and fitted rule sets are immutable and safe for concurrent use.
 package rules
 
 import (

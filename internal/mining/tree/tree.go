@@ -3,6 +3,16 @@
 // error detection predicates: gain-ratio splitting with the average-gain
 // gate, MDL-corrected continuous thresholds, fractional instance weights
 // for missing values, and pessimistic error-based pruning.
+//
+// Role in the methodology: the model generator of Step 3 and, re-run
+// per sampling configuration, of Step 4; its trees are what
+// internal/predicate reads off as detectors. Concurrency: Learner is a
+// value-type configuration safe to share; every Fit call constructs its
+// own builder (scratch buffers, arenas), so concurrent fits from fold
+// and grid workers never share mutable state; a fitted *Node tree is
+// immutable and safe for concurrent classification. Fit reads the
+// training data without mutating it and may retain store-backed sorted
+// orders only for the duration of the call.
 package tree
 
 import (

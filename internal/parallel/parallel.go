@@ -22,6 +22,13 @@
 //     indices from a shared atomic counter, the caller is always one of
 //     the workers, and the first error halts claiming. Completion is
 //     therefore guaranteed by construction, whatever fn does.
+//
+// Role in the methodology: infrastructure for Steps 1, 3 and 4 — it
+// carries the campaign fan-out, the fold fan-out and the grid fan-out
+// under one budget. Concurrency contract: SetBudget/ForEach are safe to
+// call from any goroutine at any nesting depth; fn must tolerate
+// running on the caller's goroutine; result determinism is fn's job
+// (write to indexed slots, derive RNGs from the index).
 package parallel
 
 import (

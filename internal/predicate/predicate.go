@@ -6,6 +6,14 @@
 // §VIII). A predicate is the disjunction of the conjunctive paths that
 // reach failure-labelled leaves (Figure 2 read as a conjunction of
 // disjunctions).
+//
+// Role in the methodology: the output of Step 4 — the refined tree
+// becomes the deployable detector here — and the subject of the §VII-D
+// re-validation. Ownership/concurrency: a Predicate is immutable once
+// built and safe for concurrent evaluation. A Detector is not: it
+// accumulates visit counts and alarm indices, so each concurrent run
+// (each injection campaign cell, each deployment) must own its own
+// Detector instance.
 package predicate
 
 import (

@@ -104,6 +104,40 @@ func BitPlan(kind bitflip.Kind, stride int) []int {
 	return bits
 }
 
+// Job identifies one injected run within a campaign's injection space:
+// indices into the generated test-case list and the module's variable
+// list, plus the bit position and the 1-based injection activation.
+// Jobs are pure coordinates — they carry no results — so a campaign's
+// work plan can be enumerated, sharded and journaled without executing
+// anything (internal/campaign builds on this).
+type Job struct {
+	TC   int
+	Var  int
+	Bit  int
+	Time int
+}
+
+// Jobs enumerates the spec's injection space against a module in
+// canonical order: test case (outermost), variable, bit plan, injection
+// time (innermost). Every execution path — Run here and the journaled
+// engine in internal/campaign — derives its work from this single
+// enumeration, which is what makes sharded, resumed and uninterrupted
+// campaigns produce records in identical order.
+func (s *Spec) Jobs(mod ModuleInfo) []Job {
+	var jobs []Job
+	stride := s.bitStride()
+	for tc := 0; tc < s.TestCases; tc++ {
+		for v, vd := range mod.Vars {
+			for _, bit := range BitPlan(vd.Kind, stride) {
+				for _, t := range s.InjectionTimes {
+					jobs = append(jobs, Job{TC: tc, Var: v, Bit: bit, Time: t})
+				}
+			}
+		}
+	}
+	return jobs
+}
+
 // Record is the outcome of one injected run: which fault was injected,
 // the module state sampled at the sampling location, and whether the run
 // violated the failure specification.
@@ -161,6 +195,21 @@ func (c *Campaign) Usable() int {
 	return n
 }
 
+// NewCampaign assembles a Campaign from externally executed runs:
+// records must be in Jobs order (one per job) and golden holds one
+// fault-free output per test case (nil when the assembling layer
+// restored every record from a journal without re-running goldens).
+// internal/campaign uses this to materialise resumed campaigns.
+func NewCampaign(spec Spec, targetName string, varNames []string, records []Record, golden []any) *Campaign {
+	return &Campaign{
+		Spec:          spec,
+		Target:        targetName,
+		VarNames:      varNames,
+		Records:       records,
+		goldenOutputs: golden,
+	}
+}
+
 // ErrModuleNotFound reports a spec naming a module the target lacks.
 var ErrModuleNotFound = errors.New("propane: module not found in target")
 
@@ -187,41 +236,18 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 	tcs := target.TestCases(spec.TestCases, spec.Seed)
 	golden := make([]any, len(tcs))
 	for i, tc := range tcs {
-		out, err := runSafely(target, tc, NopProbe{})
+		out, err := RunGolden(target, tc)
 		if err != nil {
 			return nil, fmt.Errorf("propane: golden run for test case %d: %w", tc.ID, err)
 		}
 		golden[i] = out
 	}
 
-	type job struct {
-		tcIdx  int
-		varIdx int
-		bit    int
-		time   int
-	}
-	var jobs []job
-	stride := spec.bitStride()
-	for tcIdx := range tcs {
-		for varIdx, v := range mod.Vars {
-			for _, bit := range BitPlan(v.Kind, stride) {
-				for _, t := range spec.InjectionTimes {
-					jobs = append(jobs, job{tcIdx: tcIdx, varIdx: varIdx, bit: bit, time: t})
-				}
-			}
-		}
-	}
+	jobs := spec.Jobs(mod)
 
-	// Telemetry handles are hoisted out of the injection loop; disabled
-	// telemetry leaves them nil and every update is one branch.
 	reg := telemetry.FromContext(ctx)
 	reg.Counter("campaign.golden_runs").Add(int64(len(tcs)))
-	cInjected := reg.Counter("campaign.runs_injected")
-	cActivated := reg.Counter("campaign.injections_activated")
-	cSampled := reg.Counter("campaign.states_sampled")
-	cFailures := reg.Counter("campaign.failures")
-	cCrashes := reg.Counter("campaign.crashes")
-	hRunNS := reg.Histogram("campaign.run_ns")
+	metrics := NewRunMetrics(reg)
 
 	// Injected runs are independent, so they fan out on the shared
 	// scheduler; indexed writes keep records in job order regardless of
@@ -230,27 +256,13 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 	records := make([]Record, len(jobs))
 	if err := parallel.ForEach(ctx, len(jobs), spec.Workers, func(idx int) error {
 		var runStart time.Time
-		if reg != nil {
+		if metrics.Enabled() {
 			runStart = time.Now()
 		}
-		j := jobs[idx]
-		rec := runInjected(target, spec, mod, tcs[j.tcIdx], golden[j.tcIdx], j.varIdx, j.bit, j.time)
+		rec := RunJob(target, spec, mod, tcs[jobs[idx].TC], golden[jobs[idx].TC], jobs[idx])
 		records[idx] = rec
-		if reg != nil {
-			hRunNS.ObserveDuration(time.Since(runStart))
-			cInjected.Inc()
-			if rec.Injected {
-				cActivated.Inc()
-			}
-			if rec.Sampled {
-				cSampled.Inc()
-			}
-			if rec.Failure {
-				cFailures.Inc()
-			}
-			if rec.Crashed {
-				cCrashes.Inc()
-			}
+		if metrics.Enabled() {
+			metrics.Observe(rec, time.Since(runStart))
 		}
 		return nil
 	}); err != nil {
@@ -261,13 +273,79 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 	for i, v := range mod.Vars {
 		varNames[i] = v.Name
 	}
-	return &Campaign{
-		Spec:          spec,
-		Target:        target.Name(),
-		VarNames:      varNames,
-		Records:       records,
-		goldenOutputs: golden,
-	}, nil
+	return NewCampaign(spec, target.Name(), varNames, records, golden), nil
+}
+
+// RunMetrics hoists the per-run campaign.* telemetry handles out of the
+// injection loop so every execution path (Run above and the journaled
+// engine in internal/campaign) reports identical counters. A RunMetrics
+// built from a nil registry absorbs observations behind Enabled.
+type RunMetrics struct {
+	reg        *telemetry.Registry
+	cInjected  *telemetry.Counter
+	cActivated *telemetry.Counter
+	cSampled   *telemetry.Counter
+	cFailures  *telemetry.Counter
+	cCrashes   *telemetry.Counter
+	hRunNS     *telemetry.Histogram
+}
+
+// NewRunMetrics resolves the campaign.* run counters (runs injected,
+// injections activated, states sampled, failure labels, crashes) and
+// the campaign.run_ns wall-clock histogram against reg. A nil reg
+// yields a disabled RunMetrics.
+func NewRunMetrics(reg *telemetry.Registry) *RunMetrics {
+	return &RunMetrics{
+		reg:        reg,
+		cInjected:  reg.Counter("campaign.runs_injected"),
+		cActivated: reg.Counter("campaign.injections_activated"),
+		cSampled:   reg.Counter("campaign.states_sampled"),
+		cFailures:  reg.Counter("campaign.failures"),
+		cCrashes:   reg.Counter("campaign.crashes"),
+		hRunNS:     reg.Histogram("campaign.run_ns"),
+	}
+}
+
+// Enabled reports whether observations will be recorded; hot loops use
+// it to skip the time.Now calls feeding the run histogram.
+func (m *RunMetrics) Enabled() bool { return m != nil && m.reg != nil }
+
+// Observe records the outcome and wall-clock duration of one injected
+// run.
+func (m *RunMetrics) Observe(rec Record, d time.Duration) {
+	if !m.Enabled() {
+		return
+	}
+	m.hRunNS.ObserveDuration(d)
+	m.cInjected.Inc()
+	if rec.Injected {
+		m.cActivated.Inc()
+	}
+	if rec.Sampled {
+		m.cSampled.Inc()
+	}
+	if rec.Failure {
+		m.cFailures.Inc()
+	}
+	if rec.Crashed {
+		m.cCrashes.Inc()
+	}
+}
+
+// RunGolden executes one fault-free run of a test case, converting
+// target panics into errors. The returned output is the reference the
+// failure specification compares injected outputs against.
+func RunGolden(target Target, tc TestCase) (any, error) {
+	return runSafely(target, tc, NopProbe{})
+}
+
+// RunJob performs the single injected run identified by j and
+// classifies its outcome. tc and golden must correspond to j.TC, and
+// mod to spec.Module. It never returns an error: crashes provoked by
+// the injected corruption are data (Record.Crashed), not failures of
+// the campaign machinery.
+func RunJob(target Target, spec Spec, mod ModuleInfo, tc TestCase, golden any, j Job) Record {
+	return runInjected(target, spec, mod, tc, golden, j.Var, j.Bit, j.Time)
 }
 
 // runInjected performs one injected run and classifies the outcome.

@@ -9,6 +9,15 @@
 // passing live references to its variables; the engine uses those
 // references to inject exactly one bit flip per run and to record the
 // sampled state that becomes one row of a fault-injection dataset.
+//
+// Role in the methodology: Step 1 (fault injection analysis) and, via
+// ToDataset, the input to Step 2. Ownership/concurrency: Target
+// implementations must be stateless values whose Run builds all mutable
+// state per call, because campaign workers invoke Run concurrently on
+// one shared Target; a Probe instance, by contrast, belongs to exactly
+// one run. Run (and the campaign engine wrapping it) parallelises over
+// the shared internal/parallel budget with per-cell determinism — the
+// resulting Campaign is scheduling-invariant and owned by the caller.
 package propane
 
 import (

@@ -1,6 +1,14 @@
 // Package stats provides small numeric helpers shared by the mining and
 // evaluation packages: running moments, simple descriptive statistics and
 // a deterministic pseudo-random source used throughout the repository.
+//
+// Role in the methodology: cross-cutting numeric support — the RNG is
+// the root of the repository's determinism guarantee (DESIGN.md §8):
+// every stochastic component (test-case generation, fold assignment,
+// sampling transforms) derives a private stream from seed and position.
+// Concurrency: an *RNG and a Welford accumulator are single-goroutine
+// objects — derive one per work item rather than sharing; the pure
+// functions (NormalInverse etc.) are safe everywhere.
 package stats
 
 import (

@@ -18,6 +18,12 @@
 //
 // The failure specification implements §VI-F: speed failures, distance
 // failures and angle failures.
+//
+// Role in the methodology: a Step 1 system under injection (datasets
+// FG-A*/FG-B* of Table II). Concurrency: System is a stateless value —
+// each Run call constructs its whole simulation state from the test
+// case, so campaign workers share one System and call Run concurrently;
+// the per-run Probe is the only externally supplied state.
 package flightgear
 
 import (

@@ -9,6 +9,13 @@
 // the paper's mp3 file sets; what the methodology observes is module
 // state and output equivalence, both of which this workload exercises
 // identically.
+//
+// Role in the methodology: a Step 1 system under injection (datasets
+// MG-A*/MG-B* of Table II). Concurrency: System is a stateless value —
+// each Run call synthesises its tracks and analyser state from the test
+// case seed, so campaign workers share one System and call Run
+// concurrently; the per-run Probe is the only externally supplied
+// state.
 package mp3gain
 
 import (

@@ -5,6 +5,13 @@
 // of input files. Two modules are instrumented, matching Table II:
 // FHandle (the archive container / file handling layer) and LDecode
 // (the sliding-window match decoder).
+//
+// Role in the methodology: a Step 1 system under injection (datasets
+// 7Z-A*/7Z-B* of Table II). Concurrency: System is a stateless value —
+// every Run call generates its workload from the test case seed and
+// keeps all codec state local to the call — so campaign workers share
+// one System and call Run concurrently; the per-run Probe is the only
+// externally supplied state.
 package sevenzip
 
 import (

@@ -24,6 +24,13 @@
 // lookup out of the loop once and call Add unconditionally; see
 // BenchmarkTelemetryOverhead for the measured cost (<2% on tree
 // induction, the tightest instrumented loop).
+//
+// Role in the methodology: cross-cutting — it observes all four steps
+// without participating in any result. Concurrency: a Registry and all
+// its metrics are safe for unrestricted concurrent use (atomic
+// updates); counter values are scheduling-invariant, so snapshots after
+// completion are exact for any worker count. A *Span belongs to the
+// goroutine (or context subtree) that started it; End it exactly once.
 package telemetry
 
 import (

@@ -1,42 +1,49 @@
 #!/usr/bin/env sh
-# bench.sh — run the refinement-grid perf benchmarks and emit a
-# machine-readable snapshot, so the perf trajectory is comparable
-# PR-over-PR.
+# bench.sh — run the perf benchmark suites and emit machine-readable
+# snapshots, so the perf trajectory is comparable PR-over-PR.
 #
 # Usage:
-#   scripts/bench.sh            # writes BENCH_refine.json in the repo root
+#   scripts/bench.sh            # writes BENCH_refine.json + BENCH_campaign.json
 #   BENCHTIME=3x scripts/bench.sh
-#   OUT=/tmp/bench.json scripts/bench.sh
+#   OUT=/tmp/refine.json CAMPAIGN_OUT=/tmp/campaign.json scripts/bench.sh
 #
-# The benchmark set covers the grid end-to-end (BenchmarkRefineGrid,
-# serial + budgeted workers) plus the micro kernels it is built from
-# (C4.5 induction, SMOTE, cross-validation).
+# BENCH_refine.json covers the refinement grid end-to-end
+# (BenchmarkRefineGrid, serial + budgeted workers) plus the micro
+# kernels it is built from (C4.5 induction, SMOTE, cross-validation).
+# BENCH_campaign.json covers the resumable campaign engine
+# (BenchmarkCampaign: bare propane reference, engine overhead,
+# journaled checkpointing, and journal replay = resume overhead).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1x}"
-OUT="${OUT:-BENCH_refine.json}"
-PATTERN='BenchmarkRefineGrid|BenchmarkMicro_C45Induction|BenchmarkMicro_SMOTE|BenchmarkMicro_CrossValidate'
 
-RAW="$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . 2>&1)"
-printf '%s\n' "$RAW"
+# run_suite PATTERN OUT — run one benchmark set and convert the output
+# into a JSON snapshot at OUT.
+run_suite() {
+    PATTERN="$1"
+    SUITE_OUT="$2"
 
-printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
+    RAW="$(go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" -benchmem . 2>&1)"
+    printf '%s\n' "$RAW"
+
+    printf '%s\n' "$RAW" | awk -v benchtime="$BENCHTIME" '
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
 /^Benchmark/ && /ns\/op/ {
     name = $1
     iters = $2
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; runs = ""
     for (i = 3; i < NF; i++) {
         if ($(i + 1) == "ns/op") ns = $i
         if ($(i + 1) == "B/op") bytes = $i
         if ($(i + 1) == "allocs/op") allocs = $i
+        if ($(i + 1) == "runs/s") runs = $i
     }
-    row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                  name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+    row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s, \"runs_per_sec\": %s}",
+                  name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs, runs == "" ? "null" : runs)
     rows = rows == "" ? row : rows ",\n" row
 }
 END {
@@ -51,6 +58,10 @@ END {
     print rows
     print "  ]"
     print "}"
-}' > "$OUT"
+}' > "$SUITE_OUT"
 
-echo "wrote $OUT"
+    echo "wrote $SUITE_OUT"
+}
+
+run_suite 'BenchmarkRefineGrid|BenchmarkMicro_C45Induction|BenchmarkMicro_SMOTE|BenchmarkMicro_CrossValidate' "${OUT:-BENCH_refine.json}"
+run_suite 'BenchmarkCampaign/' "${CAMPAIGN_OUT:-BENCH_campaign.json}"
