@@ -11,13 +11,17 @@ package main
 import (
 	"context"
 	"errors"
-	_ "expvar" // /debug/vars on the -debug-addr server
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // /debug/pprof on the -debug-addr server
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"edem/internal/campaign"
 	"edem/internal/core"
@@ -28,6 +32,7 @@ import (
 	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/propane"
+	"edem/internal/serve"
 	"edem/internal/telemetry"
 )
 
@@ -57,6 +62,10 @@ func run(args []string) error {
 		return cmdInject(rest)
 	case "validate":
 		return cmdValidate(rest)
+	case "export":
+		return cmdExport(rest)
+	case "serve":
+		return cmdServe(rest)
 	case "latency":
 		return cmdLatency(rest)
 	case "rules":
@@ -85,6 +94,10 @@ commands:
   tree      -dataset ID                                   print the induced tree (Figure 2)
   inject    -dataset ID [-log F] [-arff F]                run Step 1, dump PROPANE log / ARFF
   validate  -dataset ID [-full]                           learn, deploy and re-validate a detector
+  export    -dataset ID[,ID...]|-all -out FILE [-full]    learn predicates and write a detector bundle
+  serve     -bundle FILE [-addr HOST:PORT] [-queue N]     serve detector evaluations over HTTP/JSON
+            [-deadline D] [-drain D] [-policy fail-open|fail-closed]
+            [-breaker-threshold N] [-breaker-cooldown D] [-allow-delay]
   latency   -dataset ID                                   trace detection latency of a learnt detector
   rules     -dataset ID                                   learn a PRISM rule-induction predicate instead
   rank      -dataset ID [-method ig|gr|su]                rank the module variables by class information
@@ -143,6 +156,7 @@ type telemetryCfg struct {
 	trace      bool
 	debugAddr  string
 	reg        *telemetry.Registry
+	debugSrv   *http.Server
 }
 
 // expvarPublished guards the process-global expvar name: expvar.Publish
@@ -165,8 +179,26 @@ func (t *telemetryCfg) start() error {
 		if err != nil {
 			return fmt.Errorf("debug server: %w", err)
 		}
+		// Dedicated mux: the DefaultServeMux is process-global mutable
+		// state that any imported package can extend, which is exactly
+		// what a diagnostic port must not expose. The generous write
+		// timeout accommodates /debug/pprof/profile?seconds=N streams.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
+		t.debugSrv = &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      5 * time.Minute,
+			IdleTimeout:       time.Minute,
+		}
 		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/pprof/ (metrics at /debug/vars)\n", ln.Addr())
-		go func() { _ = http.Serve(ln, nil) }()
+		go func() { _ = t.debugSrv.Serve(ln) }()
 	}
 	return nil
 }
@@ -174,6 +206,15 @@ func (t *telemetryCfg) start() error {
 // finish reports the collected telemetry (span tree on stderr, JSON
 // snapshot to -metrics-out) and uninstalls the registry.
 func (t *telemetryCfg) finish() {
+	if t.debugSrv != nil {
+		// The deferred finish runs when the subcommand returns — which
+		// includes returning because the main signal context was
+		// cancelled — so the debug listener never outlives the command.
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = t.debugSrv.Shutdown(ctx)
+		cancel()
+		t.debugSrv = nil
+	}
 	if t.reg == nil {
 		return
 	}
@@ -224,9 +265,18 @@ func cmdCampaign(args []string) error {
 		return fmt.Errorf("campaign needs -dataset ID or -all")
 	}
 
+	// SIGTERM/SIGINT cancel the campaign context: the engine stops
+	// claiming shards, finishes none mid-write (a cancelled cell drops
+	// its whole shard before the checkpoint append), and the journal
+	// stays resumable — a kill is just an unplanned -stop-after.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	for _, dsID := range ids {
-		if err := runOneCampaign(dsID, opts, *stopAfter, *showStats); err != nil {
+		if err := runOneCampaign(ctx, dsID, opts, *stopAfter, *showStats); err != nil {
 			return err
+		}
+		if ctx.Err() != nil {
+			return nil
 		}
 	}
 	return nil
@@ -234,10 +284,10 @@ func cmdCampaign(args []string) error {
 
 // runOneCampaign executes one dataset's campaign and reports resume
 // accounting, skipped cells and (optionally) per-variable stats. A
-// -stop-after interruption is a success: the point of the engine is
-// that stopping is safe.
-func runOneCampaign(id string, opts *core.Options, stopAfter int, showStats bool) error {
-	ctx, cancel := context.WithCancel(context.Background())
+// -stop-after interruption or a kill signal is a success: the point of
+// the engine is that stopping is safe.
+func runOneCampaign(parent context.Context, id string, opts *core.Options, stopAfter int, showStats bool) error {
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	stopped := false
 	newCheckpoints := 0
@@ -263,6 +313,11 @@ func runOneCampaign(id string, opts *core.Options, stopAfter int, showStats bool
 	if err != nil {
 		if stopped && errors.Is(err, context.Canceled) {
 			fmt.Printf("campaign %s: stopped after %d new checkpoints; resume with:\n  edem campaign -dataset %s -journal %s -resume\n",
+				id, newCheckpoints, id, o.Journal)
+			return nil
+		}
+		if parent.Err() != nil && errors.Is(err, context.Canceled) {
+			fmt.Printf("campaign %s: interrupted by signal after %d new checkpoints; journal is consistent, resume with:\n  edem campaign -dataset %s -journal %s -resume\n",
 				id, newCheckpoints, id, o.Journal)
 			return nil
 		}
@@ -505,6 +560,134 @@ func cmdValidate(args []string) error {
 			val.Counts.TPR(), val.Counts.FPR(), cvTPR, cvFPR)
 	}
 	return nil
+}
+
+// cmdExport runs the methodology for one or more datasets and writes
+// the learnt predicates — each tagged with its guarded module and
+// sampling location — as a detector bundle, the deployable artefact
+// `edem serve` loads.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	ids := fs.String("dataset", "", "comma-separated Table II dataset IDs")
+	all := fs.Bool("all", false, "export every Table II dataset")
+	out := fs.String("out", "bundle.json", "bundle output file")
+	full := fs.Bool("full", false, "use the paper-scale refinement grid")
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
+		return err
+	}
+	defer tel.finish()
+	var list []string
+	switch {
+	case *all && *ids != "":
+		return fmt.Errorf("use either -dataset or -all, not both")
+	case *all:
+		list = core.AllDatasetIDs()
+	case *ids == "":
+		return fmt.Errorf("export needs -dataset ID[,ID...] or -all")
+	default:
+		for _, id := range strings.Split(*ids, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				list = append(list, id)
+			}
+		}
+	}
+	ctx := context.Background()
+	bundle := &serve.Bundle{Version: serve.BundleVersion}
+	for _, id := range list {
+		info, err := core.Info(id, *opts)
+		if err != nil {
+			return err
+		}
+		rep, err := core.RunMethodology(ctx, id, core.RefineGrid(*full), *opts)
+		if err != nil {
+			return err
+		}
+		bundle.Detectors = append(bundle.Detectors, serve.BundleEntry{
+			ID:        id,
+			Module:    info.Module,
+			Location:  info.SampleAt.String(),
+			Predicate: rep.Predicate,
+		})
+		fmt.Fprintf(os.Stderr, "  %s: %d clauses, %d atoms (guards %s/%s)\n",
+			id, len(rep.Predicate.Clauses), rep.Predicate.Complexity(), info.Module, info.SampleAt)
+	}
+	if err := bundle.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote bundle: %s (%d detectors)\n", *out, len(bundle.Detectors))
+	return nil
+}
+
+// cmdServe runs the online detector-serving runtime: it loads a
+// bundle, serves POST /v1/evaluate with admission control and
+// per-detector circuit breaking, reloads the bundle on SIGHUP or
+// POST /admin/reload, and drains cleanly on SIGTERM/SIGINT.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	bundlePath := fs.String("bundle", "", "detector bundle file (from edem export)")
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	queue := fs.Int("queue", 64, "admission queue depth; further requests shed with 429")
+	deadline := fs.Duration("deadline", 2*time.Second, "default per-request evaluation deadline")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	policy := fs.String("policy", "fail-closed", "degradation policy when a detector cannot evaluate: fail-open or fail-closed")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive evaluation failures that trip a detector's circuit")
+	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before half-open probing")
+	allowDelay := fs.Bool("allow-delay", false, "honour delay_ms in requests (synthetic latency for load testing)")
+	opts, tel := commonOpts(fs)
+	if err := parseArgs(fs, args, opts, tel); err != nil {
+		return err
+	}
+	defer tel.finish()
+	if *bundlePath == "" {
+		return fmt.Errorf("serve needs -bundle FILE (produce one with edem export)")
+	}
+	pol, err := serve.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	b, err := serve.LoadBundle(*bundlePath)
+	if err != nil {
+		return err
+	}
+	// The service always collects metrics (the /metrics endpoint is part
+	// of its API); reuse the -metrics-out/-trace registry when present.
+	reg := tel.reg
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	s, err := serve.NewServer(b, *bundlePath, serve.Config{
+		QueueDepth:      *queue,
+		Workers:         opts.Workers,
+		DefaultDeadline: *deadline,
+		DrainTimeout:    *drain,
+		Policy:          pol,
+		Breaker:         serve.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
+		AllowDelay:      *allowDelay,
+		Registry:        reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			if _, err := s.Reload(""); err != nil {
+				fmt.Fprintln(os.Stderr, "edem: reload:", err)
+			}
+		}
+	}()
+	return s.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(os.Stderr, "serving %d detectors on http://%s/ (policy %s, queue %d, deadline %v)\n",
+			len(s.Detectors()), a, pol, *queue, *deadline)
+	})
 }
 
 // cmdRules learns a detector via rule induction — the other symbolic

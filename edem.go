@@ -37,6 +37,7 @@ import (
 	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/propane"
+	"edem/internal/serve"
 	"edem/internal/telemetry"
 )
 
@@ -305,6 +306,47 @@ func SummarizeCampaign(c *CampaignResult) []propane.VarStat { return propane.Sum
 // installed and reports detection latency in activations.
 func MeasureLatency(ctx context.Context, id string, pred *Predicate, opts Options) (*core.LatencyResult, error) {
 	return core.MeasureLatency(ctx, id, pred, opts)
+}
+
+// Detector-serving runtime types. The serving runtime deploys exported
+// predicate bundles as a long-running HTTP service with admission
+// control, per-detector circuit breaking, configurable fail-open/
+// fail-closed degradation, hot reload and draining shutdown; see
+// internal/serve for the robustness contract.
+type (
+	// DetectorBundle is the deployable artefact written by `edem export`:
+	// learnt predicates tagged with the module/location they guard.
+	DetectorBundle = serve.Bundle
+	// DetectorBundleEntry is one deployable detector in a bundle.
+	DetectorBundleEntry = serve.BundleEntry
+	// ServeConfig tunes the serving runtime (queue depth, deadlines,
+	// breaker thresholds, degradation policy, drain budget).
+	ServeConfig = serve.Config
+	// DetectorServer is the online serving runtime.
+	DetectorServer = serve.Server
+	// DetectorClient is the retrying client for the serving runtime.
+	DetectorClient = serve.Client
+	// StateSample is one state vector on the wire; NaN and ±Inf survive
+	// JSON transport bit-exactly (hex-encoded IEEE-754).
+	StateSample = serve.Sample
+)
+
+// Degradation policies for the serving runtime.
+const (
+	// FailClosed surfaces detector faults and open circuits as errors.
+	FailClosed = serve.FailClosed
+	// FailOpen returns empty degraded verdicts instead of errors.
+	FailOpen = serve.FailOpen
+)
+
+// LoadDetectorBundle reads and validates a detector bundle file.
+func LoadDetectorBundle(path string) (*DetectorBundle, error) { return serve.LoadBundle(path) }
+
+// NewDetectorServer builds a serving runtime over a validated bundle.
+// path is the bundle's file path, used for hot reload ("" disables
+// path-based reload).
+func NewDetectorServer(b *DetectorBundle, path string, cfg ServeConfig) (*DetectorServer, error) {
+	return serve.NewServer(b, path, cfg)
 }
 
 // WriteCSV serialises a dataset as CSV (header row, class column last).

@@ -1,6 +1,7 @@
 package predicate
 
 import (
+	"sync"
 	"testing"
 
 	"edem/internal/propane"
@@ -69,6 +70,67 @@ func TestDetectorInChain(t *testing.T) {
 	chain.Visit("M", propane.Exit, vars)
 	if !det.Triggered() {
 		t.Fatal("chained detector did not observe the visit")
+	}
+}
+
+// TestDetectorConcurrentVisits exercises the concurrency contract
+// under -race: many goroutines visiting (and one resetting between
+// rounds) must neither race nor lose counts.
+func TestDetectorConcurrentVisits(t *testing.T) {
+	pred := &Predicate{Clauses: []Clause{{{Index: 0, Op: GT, Threshold: 10}}}}
+	det := NewDetector("M", propane.Exit, pred)
+	const goroutines, visitsEach = 8, 200
+	for round := 0; round < 3; round++ {
+		det.Reset()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				v := float64(g * 10) // g>1 exceeds the threshold
+				vars := []propane.VarRef{propane.Float64Ref("v", &v)}
+				for i := 0; i < visitsEach; i++ {
+					det.Visit("M", propane.Exit, vars)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if got := det.VisitCount(); got != goroutines*visitsEach {
+			t.Fatalf("round %d: visits = %d, want %d", round, got, goroutines*visitsEach)
+		}
+		// Goroutines with g*10 > 10 (six of eight) alarm on every visit.
+		if got := len(det.AlarmIndices()); got != 6*visitsEach {
+			t.Fatalf("round %d: alarms = %d, want %d", round, got, 6*visitsEach)
+		}
+	}
+}
+
+// TestDetectorConcurrentGuardedVisits runs the guarded path under
+// -race: the guard set is built once and read concurrently.
+func TestDetectorConcurrentGuardedVisits(t *testing.T) {
+	pred := &Predicate{Clauses: []Clause{{{Index: 0, Op: GT, Threshold: 0}}}}
+	det := NewDetector("M", propane.Exit, pred)
+	det.GuardActivations = []int{1, 3, 5, 7, 11, 400}
+	v := 5.0
+	vars := []propane.VarRef{propane.Float64Ref("v", &v)}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				det.Visit("M", propane.Exit, vars)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := det.VisitCount(); got != 400 {
+		t.Fatalf("visits = %d, want 400", got)
+	}
+	// All six guarded activation numbers occur within 400 visits, and
+	// every guarded visit alarms (v > 0).
+	if got := len(det.AlarmIndices()); got != len(det.GuardActivations) {
+		t.Fatalf("alarms = %d, want %d", got, len(det.GuardActivations))
 	}
 }
 

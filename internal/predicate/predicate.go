@@ -10,10 +10,11 @@
 // Role in the methodology: the output of Step 4 — the refined tree
 // becomes the deployable detector here — and the subject of the §VII-D
 // re-validation. Ownership/concurrency: a Predicate is immutable once
-// built and safe for concurrent evaluation. A Detector is not: it
-// accumulates visit counts and alarm indices, so each concurrent run
-// (each injection campaign cell, each deployment) must own its own
-// Detector instance.
+// built and safe for concurrent evaluation. A Detector accumulates
+// visit counts and alarm indices under an internal mutex, so concurrent
+// Visit calls are safe — but activation numbering is then
+// scheduling-dependent, so each deterministic run (each injection
+// campaign cell) should still own its own Detector instance.
 package predicate
 
 import (

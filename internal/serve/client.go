@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// StatusError is a non-2xx response from the serving runtime. Code 429
+// (shed) and 503 (draining / circuit open under fail-closed) are
+// retryable; the client retries them automatically.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: server returned %d: %s", e.Code, e.Msg)
+}
+
+// retryable reports whether the status is worth another attempt:
+// shedding and transient unavailability are; client errors are not.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return code >= 500 && code != http.StatusInternalServerError
+}
+
+// Client is a retrying client for the serving runtime, built for batch
+// re-validation against a remote service: transient failures (network
+// errors, sheds, drains) retry with bounded exponential backoff, and
+// every retry is deadline-aware — the client never sleeps past the
+// context deadline just to fail afterwards. Safe for concurrent use.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil uses http.DefaultClient
+	// (per-call deadlines come from the context).
+	HTTP *http.Client
+	// MaxRetries is the number of additional attempts after the first
+	// (default 3).
+	MaxRetries int
+	// Backoff is the delay before the first retry, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 2s).
+	MaxBackoff time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 3
+	}
+	return c.MaxRetries
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.Backoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// Evaluate posts one batch of samples to the named detector, retrying
+// transient failures until ctx expires or the retry budget runs out.
+func (c *Client) Evaluate(ctx context.Context, detector string, samples []Sample) (*EvalResponse, error) {
+	body, err := json.Marshal(EvalRequest{Detector: detector, Samples: samples})
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.post(ctx, "/v1/evaluate", body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) && !retryable(se.Code) {
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("serve: evaluate: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+		if attempt >= c.maxRetries() {
+			return nil, fmt.Errorf("serve: evaluate: %d attempts exhausted: %w", attempt+1, lastErr)
+		}
+		delay := c.backoff(attempt)
+		// Deadline-aware: when the remaining context budget cannot cover
+		// the sleep, give up now instead of sleeping into the deadline.
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay {
+			return nil, fmt.Errorf("serve: evaluate: deadline too close to retry: %w", lastErr)
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, fmt.Errorf("serve: evaluate: %w (last error: %v)", ctx.Err(), lastErr)
+		}
+	}
+}
+
+// EvaluateChunks re-validates a large batch by splitting it into
+// chunks of at most chunk samples (default 256), evaluating each with
+// the full retry policy, and merging the responses — alarms are
+// re-indexed into the caller's 1-based sample numbering.
+func (c *Client) EvaluateChunks(ctx context.Context, detector string, samples []Sample, chunk int) (*EvalResponse, error) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	out := &EvalResponse{Detector: detector}
+	for lo := 0; lo < len(samples); lo += chunk {
+		hi := lo + chunk
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		resp, err := c.Evaluate(ctx, detector, samples[lo:hi])
+		if err != nil {
+			return nil, fmt.Errorf("serve: chunk [%d,%d): %w", lo, hi, err)
+		}
+		if resp.Degraded != "" && out.Degraded == "" {
+			out.Degraded = resp.Degraded
+		}
+		out.Verdicts = append(out.Verdicts, resp.Verdicts...)
+		for _, a := range resp.Alarms {
+			out.Alarms = append(out.Alarms, lo+a)
+		}
+		out.Evaluated += resp.Evaluated
+	}
+	return out, nil
+}
+
+// Health fetches /healthz; it does not retry (health checks must
+// reflect the instant, not the trend).
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(io.LimitReader(res.Body, 1<<16)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("serve: health: %w", err)
+	}
+	return &h, nil
+}
+
+// post performs one attempt and maps non-2xx statuses to StatusError.
+func (c *Client) post(ctx context.Context, path string, body []byte) (*EvalResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, maxRequestBody))
+	if err != nil {
+		return nil, err
+	}
+	if res.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return nil, &StatusError{Code: res.StatusCode, Msg: msg}
+	}
+	var out EvalResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("serve: decode response: %w", err)
+	}
+	return &out, nil
+}

@@ -1,0 +1,574 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edem/internal/parallel"
+	"edem/internal/telemetry"
+)
+
+// DegradePolicy selects what a request gets when its detector cannot
+// evaluate (circuit open, or the evaluation itself fails).
+type DegradePolicy int
+
+const (
+	// FailClosed returns an explicit error (503/500): no verdict is
+	// worse than a missing one. The default.
+	FailClosed DegradePolicy = iota
+	// FailOpen returns a 200 with no alarms and a Degraded reason: the
+	// protected system keeps running without detection coverage.
+	FailOpen
+)
+
+// String returns the flag spelling of the policy.
+func (p DegradePolicy) String() string {
+	if p == FailOpen {
+		return "fail-open"
+	}
+	return "fail-closed"
+}
+
+// ParsePolicy parses the flag spelling.
+func ParsePolicy(s string) (DegradePolicy, error) {
+	switch s {
+	case "fail-closed":
+		return FailClosed, nil
+	case "fail-open":
+		return FailOpen, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown degradation policy %q (want fail-open or fail-closed)", s)
+	}
+}
+
+// Config tunes the serving runtime. The zero value selects the
+// defaults documented on each field.
+type Config struct {
+	// QueueDepth bounds the admission queue; requests arriving while it
+	// is full are shed with 429 (default 64).
+	QueueDepth int
+	// Workers is the evaluation worker count; 0 resolves against the
+	// shared parallel budget (all cores). Batch evaluation inside one
+	// request additionally fans out through parallel.ForEach under the
+	// same global budget.
+	Workers int
+	// DefaultDeadline is the per-request evaluation deadline applied
+	// when the client sends none (default 2s).
+	DefaultDeadline time.Duration
+	// DrainTimeout bounds the graceful shutdown: after this long,
+	// still-unfinished requests are abandoned (default 10s).
+	DrainTimeout time.Duration
+	// Policy is the degradation policy (default FailClosed).
+	Policy DegradePolicy
+	// Breaker tunes the per-detector circuit breakers.
+	Breaker BreakerConfig
+	// AllowDelay honours the request's delay_ms field (synthetic
+	// evaluation latency for load and drain testing). Never enable it
+	// on a production service.
+	AllowDelay bool
+	// Registry receives the serve.* metrics; nil falls back to the
+	// process default registry at construction time.
+	Registry *telemetry.Registry
+	// Logf, when non-nil, receives operational log lines (reloads,
+	// drain progress).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// servedDetector is one live detector: its bundle entry, its breaker
+// and its evaluation counters. eval defaults to the predicate's Eval
+// and exists so tests (and future model families) can substitute a
+// different evaluation function.
+type servedDetector struct {
+	entry   BundleEntry
+	breaker *Breaker
+	eval    func(values []float64) bool
+	evals   atomic.Int64
+	alarms  atomic.Int64
+}
+
+// bundleState is one atomically-swappable generation of loaded
+// detectors. In-flight requests hold the generation they resolved
+// their detector from, so a reload never changes a request mid-way.
+type bundleState struct {
+	path string
+	ids  []string // sorted, for stable status listings
+	dets map[string]*servedDetector
+}
+
+// job is one admitted evaluation request travelling through the
+// bounded queue to the worker pool.
+type job struct {
+	ctx     context.Context
+	det     *servedDetector
+	samples []Sample
+	delay   time.Duration
+	done    chan jobResult // buffered(1): workers never block on it
+}
+
+type jobResult struct {
+	verdicts []bool
+	alarms   []int
+	err      error
+}
+
+// Server is the detector evaluation service. Create it with NewServer,
+// expose it with Handler (any http.Server) or Serve (managed listener
+// with draining shutdown), and stop it with Close.
+type Server struct {
+	cfg    Config
+	bundle atomic.Pointer[bundleState]
+
+	queue     chan *job
+	stop      chan struct{}
+	stopOnce  sync.Once
+	workersWG sync.WaitGroup
+	draining  atomic.Bool
+
+	reg         *telemetry.Registry
+	mRequests   *telemetry.Counter
+	mSheds      *telemetry.Counter
+	mTrips      *telemetry.Counter
+	mTransits   *telemetry.Counter
+	mRejections *telemetry.Counter
+	mReloads    *telemetry.Counter
+	mEvals      *telemetry.Counter
+	mAlarms     *telemetry.Counter
+	mEvalErrors *telemetry.Counter
+	gQueue      *telemetry.Gauge
+	hRequestNS  *telemetry.Histogram
+}
+
+// NewServer builds a server from a validated bundle and starts its
+// evaluation workers. path records where the bundle came from (may be
+// empty for in-memory bundles; SIGHUP-style Reload("") then has no
+// file to re-read).
+func NewServer(b *Bundle, path string, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *job, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		reg:   cfg.Registry,
+	}
+	s.mRequests = s.reg.Counter("serve.requests")
+	s.mSheds = s.reg.Counter("serve.sheds")
+	s.mTrips = s.reg.Counter("serve.breaker_trips")
+	s.mTransits = s.reg.Counter("serve.breaker_transitions")
+	s.mRejections = s.reg.Counter("serve.breaker_rejections")
+	s.mReloads = s.reg.Counter("serve.reloads")
+	s.mEvals = s.reg.Counter("serve.evals")
+	s.mAlarms = s.reg.Counter("serve.alarms")
+	s.mEvalErrors = s.reg.Counter("serve.eval_errors")
+	s.gQueue = s.reg.Gauge("serve.queue_depth")
+	s.hRequestNS = s.reg.Histogram("serve.request_ns")
+
+	st, err := s.buildState(b, path)
+	if err != nil {
+		return nil, err
+	}
+	s.bundle.Store(st)
+
+	workers := parallel.Workers(cfg.Workers, 0)
+	s.workersWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// buildState validates the bundle and wires fresh breakers (reload
+// deliberately resets breaker state: a new predicate generation starts
+// with a clean slate).
+func (s *Server) buildState(b *Bundle, path string) (*bundleState, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	st := &bundleState{path: path, dets: make(map[string]*servedDetector, len(b.Detectors))}
+	for _, e := range b.Detectors {
+		pred := e.Predicate
+		det := &servedDetector{
+			entry:   e,
+			breaker: NewBreaker(s.cfg.Breaker),
+			eval:    pred.Eval,
+		}
+		det.breaker.onTransition = func(from, to BreakerState) {
+			s.mTransits.Inc()
+			if to == Open {
+				s.mTrips.Inc()
+			}
+		}
+		st.dets[e.ID] = det
+		st.ids = append(st.ids, e.ID)
+	}
+	sort.Strings(st.ids)
+	return st, nil
+}
+
+// Reload loads a bundle file and atomically swaps it in. An empty path
+// re-reads the bundle the current generation came from (the SIGHUP
+// behaviour). In-flight requests finish on the old generation.
+func (s *Server) Reload(path string) ([]string, error) {
+	if path == "" {
+		path = s.bundle.Load().path
+	}
+	if path == "" {
+		return nil, fmt.Errorf("serve: reload: no bundle path on record")
+	}
+	b, err := LoadBundle(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := s.buildState(b, path)
+	if err != nil {
+		return nil, err
+	}
+	s.bundle.Store(st)
+	s.mReloads.Inc()
+	s.cfg.Logf("serve: reloaded %d detectors from %s", len(st.ids), path)
+	return st.ids, nil
+}
+
+// Detectors lists the IDs of the current bundle generation.
+func (s *Server) Detectors() []string {
+	return append([]string(nil), s.bundle.Load().ids...)
+}
+
+// Close stops the evaluation workers. Call after the HTTP layer has
+// drained; queued jobs whose handlers are gone resolve harmlessly into
+// their buffered channels.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.workersWG.Wait()
+}
+
+// worker is one evaluation worker: it pulls admitted jobs off the
+// bounded queue, evaluates them with panic isolation, and reports the
+// outcome to both the breaker and the waiting handler.
+func (s *Server) worker() {
+	defer s.workersWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.gQueue.Add(-1)
+			j.done <- s.runJob(j)
+		}
+	}
+}
+
+// runJob evaluates one job. The job's context bounds everything,
+// including the synthetic AllowDelay sleep.
+func (s *Server) runJob(j *job) jobResult {
+	if err := j.ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
+	if j.delay > 0 {
+		t := time.NewTimer(j.delay)
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			t.Stop()
+			return jobResult{err: j.ctx.Err()}
+		}
+	}
+	verdicts := make([]bool, len(j.samples))
+	err := parallel.ForEach(j.ctx, len(j.samples), s.cfg.Workers, func(i int) (rerr error) {
+		defer func() {
+			if r := recover(); r != nil {
+				rerr = fmt.Errorf("serve: evaluation panic: %v", r)
+			}
+		}()
+		verdicts[i] = j.det.eval(j.samples[i])
+		return nil
+	})
+	if err != nil {
+		return jobResult{err: err}
+	}
+	var alarms []int
+	for i, v := range verdicts {
+		if v {
+			alarms = append(alarms, i+1)
+		}
+	}
+	return jobResult{verdicts: verdicts, alarms: alarms}
+}
+
+// Handler returns the service's HTTP handler on a dedicated mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/detectors", s.handleDetectors)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Serve runs the service on ln until ctx is cancelled, then drains:
+// stop accepting, let in-flight requests finish (bounded by
+// DrainTimeout), stop the workers. Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.cfg.Logf("serve: draining (timeout %v)", s.cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := hs.Shutdown(dctx)
+	s.Close()
+	if err != nil {
+		return fmt.Errorf("serve: drain: %w", err)
+	}
+	s.cfg.Logf("serve: drained cleanly")
+	return nil
+}
+
+// ListenAndServe listens on addr and calls Serve. It reports the bound
+// address through onListen (useful with ":0") before serving.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, onListen func(addr net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	return s.Serve(ctx, ln)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.bundle.Load()
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining", Detectors: len(st.ids)})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Detectors: len(st.ids)})
+}
+
+func (s *Server) handleDetectors(w http.ResponseWriter, r *http.Request) {
+	st := s.bundle.Load()
+	out := make([]DetectorStatus, 0, len(st.ids))
+	for _, id := range st.ids {
+		d := st.dets[id]
+		out = append(out, DetectorStatus{
+			ID:       d.entry.ID,
+			Module:   d.entry.Module,
+			Location: d.entry.Location,
+			Clauses:  len(d.entry.Predicate.Clauses),
+			Atoms:    d.entry.Predicate.Complexity(),
+			Breaker:  d.breaker.State().String(),
+			Evals:    d.evals.Load(),
+			Alarms:   d.alarms.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	var req ReloadRequest
+	if r.Body != nil {
+		// An empty body means "re-read the current bundle".
+		_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req)
+	}
+	ids, err := s.Reload(req.Path)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Path: s.bundle.Load().path, Detectors: ids})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "telemetry disabled"})
+		return
+	}
+	snap := s.reg.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	_ = snap.WriteJSON(w)
+}
+
+// maxRequestBody bounds an evaluate request body (16 MiB of samples is
+// far past any sane batch; reject early rather than buffer).
+const maxRequestBody = 16 << 20
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.mRequests.Inc()
+	defer func() { s.hRequestNS.ObserveDuration(time.Since(start)) }()
+
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST only"})
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
+		return
+	}
+	var req EvalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+		return
+	}
+	st := s.bundle.Load()
+	det, ok := st.dets[req.Detector]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown detector %q", req.Detector)})
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "no samples"})
+		return
+	}
+	arity := len(det.entry.Predicate.Vars)
+	for i, sm := range req.Samples {
+		if len(sm) != arity {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("sample %d has %d values, detector %s wants %d", i, len(sm), req.Detector, arity)})
+			return
+		}
+	}
+
+	// Per-request deadline: the client's deadline_ms wins over the
+	// server default; both propagate through the job context into the
+	// evaluation fan-out.
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// Circuit check. A tripped detector degrades per policy; the other
+	// detectors keep serving untouched.
+	if !det.breaker.Allow() {
+		s.mRejections.Inc()
+		if s.cfg.Policy == FailOpen {
+			writeJSON(w, http.StatusOK, EvalResponse{
+				Detector: req.Detector,
+				Degraded: "breaker-open",
+			})
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{
+			Error: fmt.Sprintf("detector %s: circuit open", req.Detector)})
+		return
+	}
+
+	var delay time.Duration
+	if s.cfg.AllowDelay && req.DelayMS > 0 {
+		delay = time.Duration(req.DelayMS) * time.Millisecond
+	}
+	j := &job{
+		ctx:     ctx,
+		det:     det,
+		samples: req.Samples,
+		delay:   delay,
+		done:    make(chan jobResult, 1),
+	}
+
+	// Bounded admission: a full queue sheds immediately with an
+	// explicit rejection — the queue never grows past QueueDepth and a
+	// shed costs the client one cheap round-trip, not a timeout.
+	select {
+	case s.queue <- j:
+		s.gQueue.Add(1)
+	default:
+		s.mSheds.Inc()
+		det.breaker.Cancel() // shedding is not a detector outcome
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "admission queue full"})
+		return
+	}
+
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			if ctx.Err() != nil {
+				// Deadline, not a detector fault.
+				det.breaker.Cancel()
+				writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded"})
+				return
+			}
+			s.mEvalErrors.Inc()
+			det.breaker.Record(false)
+			if s.cfg.Policy == FailOpen {
+				writeJSON(w, http.StatusOK, EvalResponse{
+					Detector: req.Detector,
+					Degraded: "eval-error: " + res.err.Error(),
+				})
+				return
+			}
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: res.err.Error()})
+			return
+		}
+		det.breaker.Record(true)
+		det.evals.Add(int64(len(res.verdicts)))
+		det.alarms.Add(int64(len(res.alarms)))
+		s.mEvals.Add(int64(len(res.verdicts)))
+		s.mAlarms.Add(int64(len(res.alarms)))
+		writeJSON(w, http.StatusOK, EvalResponse{
+			Detector:  req.Detector,
+			Verdicts:  res.verdicts,
+			Alarms:    res.alarms,
+			Evaluated: len(res.verdicts),
+		})
+	case <-ctx.Done():
+		// The job may still be queued or running; the worker will
+		// resolve it into the buffered channel. A queue-stuck deadline
+		// is load, not a detector fault: no breaker penalty.
+		det.breaker.Cancel()
+		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded"})
+	}
+}
