@@ -471,16 +471,20 @@ func BenchmarkRefineGrid(b *testing.B) {
 }
 
 // BenchmarkCampaign measures the resumable campaign engine against the
-// single-shot reference path on one mid-sized campaign (MG-A1):
-// propane is the baseline, engine adds sharding/retry bookkeeping,
-// journaled adds checkpoint writes, and replay resumes a complete
-// journal — the cost of rebuilding the dataset with zero target runs.
-// Every sub-benchmark reports end-to-end throughput in runs/s; the
-// engine-vs-propane gap is the fault-tolerance overhead and the
+// single-shot reference path on one mid-sized campaign (7Z-B2, chosen
+// over the former MG-A1 grid because its solid-archive decode repeats
+// the longest shared prefix per cell — the workload class the fork fast
+// path exists for): propane is the baseline, engine adds sharding/retry
+// bookkeeping, journaled adds checkpoint writes, forked runs the engine
+// with golden-state forking and convergence memoization, and replay
+// resumes a complete journal — the cost of rebuilding the dataset with
+// zero target runs. Every sub-benchmark reports end-to-end throughput
+// in runs/s; the engine-vs-propane gap is the fault-tolerance overhead,
+// the forked-vs-engine ratio is the fork speedup (target ≥10×) and the
 // replay-vs-journaled gap is the resume saving (EXPERIMENTS.md).
 func BenchmarkCampaign(b *testing.B) {
 	opts := benchOpts()
-	target, spec, err := core.SpecFor("MG-A1", opts)
+	target, spec, err := core.SpecFor("7Z-B2", opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -501,6 +505,18 @@ func BenchmarkCampaign(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := campaign.Run(context.Background(), target, spec, campaign.Config{}); err != nil {
 				b.Fatal(err)
+			}
+		}
+		report(b)
+	})
+	b.Run("forked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := campaign.Run(context.Background(), target, spec, campaign.Config{Fork: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Fork.Forked == 0 {
+				b.Fatal("fork fast path did not engage")
 			}
 		}
 		report(b)

@@ -74,3 +74,46 @@ func TestCmdCampaignStopAndResume(t *testing.T) {
 		t.Fatal("ARFF from resumed journal differs from direct run")
 	}
 }
+
+// TestCmdCampaignFork drives the fork fast path through the CLI: a
+// forked journaled campaign is stopped, resumed with -fork still on,
+// and the forked ARFF must be byte-identical to the slow path's.
+func TestCmdCampaignFork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign; skipped in -short mode")
+	}
+	journal := filepath.Join(t.TempDir(), "journal")
+	scale := []string{"-dataset", "MG-A1", "-scale", "2", "-stride", "16"}
+
+	args := append([]string{"campaign", "-journal", journal, "-shards", "6", "-stop-after", "2", "-fork"}, scale...)
+	if err := run(args); err != nil {
+		t.Fatalf("interrupted forked campaign should exit cleanly: %v", err)
+	}
+	args = append([]string{"campaign", "-journal", journal, "-shards", "6", "-resume", "-fork"}, scale...)
+	if err := run(args); err != nil {
+		t.Fatalf("forked resume: %v", err)
+	}
+
+	dir := t.TempDir()
+	forked := filepath.Join(dir, "forked.arff")
+	slow := filepath.Join(dir, "slow.arff")
+	args = append([]string{"inject", "-fork", "-arff", forked}, scale...)
+	if err := run(args); err != nil {
+		t.Fatalf("forked inject: %v", err)
+	}
+	args = append([]string{"inject", "-arff", slow}, scale...)
+	if err := run(args); err != nil {
+		t.Fatalf("slow inject: %v", err)
+	}
+	a, err := os.ReadFile(forked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("forked ARFF differs from slow-path ARFF")
+	}
+}

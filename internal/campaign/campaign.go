@@ -74,6 +74,13 @@ type Config struct {
 	// restored ones) and the total. Calls are serialised but may come
 	// from any worker goroutine.
 	OnCheckpoint func(done, total int)
+	// Fork enables the golden-state forking fast path for targets that
+	// implement propane.Forkable; other targets fall back to the slow
+	// path transparently. Fork is an execution knob: it does not enter
+	// the plan hash, and fast-path records are bit-identical to slow-
+	// path records, so a journal may be written with one setting and
+	// resumed with the other.
+	Fork bool
 }
 
 func (c *Config) backoff() time.Duration {
@@ -115,6 +122,12 @@ type Result struct {
 	Retries int
 	// Skipped lists the cells the engine gave up on, in job order.
 	Skipped []SkippedCell
+	// Fork aggregates fast-path statistics over the whole campaign:
+	// restored shards contribute their journaled stats, fresh shards
+	// what actually happened this invocation. Snapshots is live-only
+	// (golden columns are rebuilt per invocation, not journaled). All
+	// zero when Config.Fork was off or the target is not Forkable.
+	Fork propane.ForkStats
 }
 
 // Run executes (or resumes) the campaign described by spec against
@@ -152,6 +165,7 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 
 	records := make([]propane.Record, len(plan.Jobs))
 	var skipped []SkippedCell
+	var forkTotals propane.ForkStats
 	for shard, cp := range restored {
 		lo, hi := plan.ShardRange(shard)
 		if len(cp.Records) != hi-lo {
@@ -166,6 +180,12 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 			records[lo+i] = rec
 		}
 		skipped = append(skipped, cp.Skipped...)
+		if cp.Fork != nil {
+			forkTotals.Forked += cp.Fork.Forked
+			forkTotals.Converged += cp.Fork.Converged
+			forkTotals.MemoHits += cp.Fork.MemoHits
+			forkTotals.Fallbacks += cp.Fork.Fallbacks
+		}
 	}
 
 	var pending []int
@@ -179,6 +199,11 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 		if err := e.prepareGoldens(ctx); err != nil {
 			return nil, err
 		}
+		if cfg.Fork {
+			if ft, ok := target.(propane.Forkable); ok {
+				e.fork = propane.NewForkRunner(ft, plan.Spec, plan.Module)
+			}
+		}
 		fresh, err := e.runShards(ctx, pending, records)
 		if err != nil {
 			return nil, err
@@ -191,6 +216,18 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 	e.reg.Counter("campaign.shards_run").Add(e.shardsRun.Load())
 	e.reg.Counter("campaign.retries").Add(e.retries.Load())
 	e.reg.Counter("campaign.cells_skipped").Add(int64(len(skipped)))
+	if e.fork != nil {
+		// Telemetry reports this invocation's fast-path events; the
+		// Result's Fork field aggregates the whole campaign including
+		// restored shards.
+		e.fork.Report(e.reg)
+		live := e.fork.Stats()
+		forkTotals.Snapshots = live.Snapshots
+		forkTotals.Forked += live.Forked
+		forkTotals.Converged += live.Converged
+		forkTotals.MemoHits += live.MemoHits
+		forkTotals.Fallbacks += live.Fallbacks
+	}
 
 	varNames := make([]string, len(plan.Module.Vars))
 	for i, v := range plan.Module.Vars {
@@ -204,6 +241,7 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 		ShardsRun:      int(e.shardsRun.Load()),
 		Retries:        int(e.retries.Load()),
 		Skipped:        skipped,
+		Fork:           forkTotals,
 	}, nil
 }
 
@@ -263,6 +301,10 @@ type engine struct {
 	jnl    *journal
 	reg    *telemetry.Registry
 
+	// fork is the golden-state fast path, nil unless Config.Fork is set
+	// and the target is Forkable.
+	fork *propane.ForkRunner
+
 	metrics *propane.RunMetrics
 
 	tcs     []propane.TestCase
@@ -316,16 +358,23 @@ func (e *engine) runShards(ctx context.Context, pending []int, records []propane
 		shard := pending[k]
 		lo, hi := e.plan.ShardRange(shard)
 		cp := checkpoint{Plan: e.plan.Hash, Shard: shard, Records: make([]recordJSON, 0, hi-lo)}
+		var fs forkShardStats
 		for idx := lo; idx < hi; idx++ {
-			rec, skip, err := e.runCell(ctx, idx)
+			rec, oc, skip, err := e.runCell(ctx, idx)
 			if err != nil {
 				return err
+			}
+			if e.fork != nil {
+				fs.observe(oc)
 			}
 			records[idx] = rec
 			cp.Records = append(cp.Records, encodeRecord(rec))
 			if skip != nil {
 				cp.Skipped = append(cp.Skipped, *skip)
 			}
+		}
+		if e.fork != nil {
+			cp.Fork = &fs
 		}
 		if e.jnl != nil {
 			if err := e.jnl.append(cp); err != nil {
@@ -352,11 +401,18 @@ func (e *engine) runShards(ctx context.Context, pending []int, records []propane
 	return skipped, nil
 }
 
+// cellResult pairs a cell's record with how it was resolved, so the
+// shard loop can attribute fast-path statistics per shard.
+type cellResult struct {
+	rec propane.Record
+	oc  propane.ForkOutcome
+}
+
 // runCell executes one cell of the injection space with retry, timeout
-// and panic isolation. The returned error is only ever a context
-// error: infrastructure failures degrade to a skip, injected-run
-// crashes are data.
-func (e *engine) runCell(ctx context.Context, idx int) (propane.Record, *SkippedCell, error) {
+// and panic isolation, trying the fork fast path first when enabled.
+// The returned error is only ever a context error: infrastructure
+// failures degrade to a skip, injected-run crashes are data.
+func (e *engine) runCell(ctx context.Context, idx int) (propane.Record, propane.ForkOutcome, *SkippedCell, error) {
 	j := e.plan.Jobs[idx]
 	placeholder := propane.Record{
 		TestCase:      e.tcs[j.TC].ID,
@@ -365,26 +421,31 @@ func (e *engine) runCell(ctx context.Context, idx int) (propane.Record, *Skipped
 		InjectionTime: j.Time,
 	}
 	if reason := e.goldenErr[j.TC]; reason != "" {
-		return placeholder, e.skipCell(idx, j, 0, reason), nil
+		return placeholder, propane.ForkFellBack, e.skipCell(idx, j, 0, reason), nil
 	}
 	var runStart time.Time
 	if e.metrics.Enabled() {
 		runStart = time.Now()
 	}
 	out, attempts, err := e.attempt(ctx, func() (any, error) {
-		return propane.RunJob(e.target, e.plan.Spec, e.plan.Module, e.tcs[j.TC], e.goldens[j.TC], j), nil
+		if e.fork != nil {
+			if rec, oc := e.fork.RunJob(j.TC, e.tcs[j.TC], e.goldens[j.TC], j); oc.FromFork() {
+				return cellResult{rec, oc}, nil
+			}
+		}
+		return cellResult{propane.RunJob(e.target, e.plan.Spec, e.plan.Module, e.tcs[j.TC], e.goldens[j.TC], j), propane.ForkFellBack}, nil
 	})
 	if ctx.Err() != nil {
-		return placeholder, nil, ctx.Err()
+		return placeholder, propane.ForkFellBack, nil, ctx.Err()
 	}
 	if err != nil {
-		return placeholder, e.skipCell(idx, j, attempts, err.Error()), nil
+		return placeholder, propane.ForkFellBack, e.skipCell(idx, j, attempts, err.Error()), nil
 	}
-	rec := out.(propane.Record)
+	cr := out.(cellResult)
 	if e.metrics.Enabled() {
-		e.metrics.Observe(rec, time.Since(runStart))
+		e.metrics.Observe(cr.rec, time.Since(runStart))
 	}
-	return rec, nil, nil
+	return cr.rec, cr.oc, nil, nil
 }
 
 func (e *engine) skipCell(idx int, j propane.Job, attempts int, reason string) *SkippedCell {

@@ -1,0 +1,131 @@
+package campaign_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"edem/internal/campaign"
+	"edem/internal/propane"
+	"edem/internal/targets/mp3gain"
+)
+
+func forkTarget() mp3gain.System {
+	return mp3gain.System{TracksPerCase: 3, SamplesPerTrack: 600}
+}
+
+func forkSpec() propane.Spec {
+	return propane.Spec{
+		Dataset:        "MG-FORK",
+		Module:         mp3gain.ModuleRGain,
+		InjectAt:       propane.Entry,
+		SampleAt:       propane.Exit,
+		InjectionTimes: []int{1, 2},
+		TestCases:      2,
+		Seed:           7,
+		BitStride:      8,
+	}
+}
+
+// TestForkEquivalentToSlowEngine pins the campaign-level acceptance
+// criterion of the fast path: Fork on and off produce bit-identical
+// records, datasets and ARFF bytes against a real Forkable target.
+func TestForkEquivalentToSlowEngine(t *testing.T) {
+	spec := forkSpec()
+	slow, err := campaign.Run(context.Background(), forkTarget(), spec, campaign.Config{Shards: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := campaign.Run(context.Background(), forkTarget(), spec,
+		campaign.Config{Shards: 5, Fork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, fast.Campaign, slow.Campaign)
+	// Fork is an execution knob, not a plan parameter: the journal
+	// identity must not depend on it.
+	if fast.PlanHash != slow.PlanHash {
+		t.Fatalf("plan hash differs across fork setting: %s vs %s", fast.PlanHash, slow.PlanHash)
+	}
+	if slow.Fork.Forked != 0 || slow.Fork.Fallbacks != 0 {
+		t.Fatalf("slow run reported fork stats: %+v", slow.Fork)
+	}
+	if fast.Fork.Forked == 0 || fast.Fork.Snapshots == 0 {
+		t.Fatalf("fast run did not fork: %+v", fast.Fork)
+	}
+	if fast.Fork.Fallbacks != 0 {
+		t.Fatalf("unexpected fallbacks on a Forkable target: %+v", fast.Fork)
+	}
+}
+
+// TestForkKillAndResume interrupts a journaled forked campaign, resumes
+// it with Fork still on, and asserts bit-identity with an uninterrupted
+// slow run — the journal is interchangeable between the two paths.
+func TestForkKillAndResume(t *testing.T) {
+	spec := forkSpec()
+	dir := filepath.Join(t.TempDir(), "journal")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := campaign.Config{
+		Journal: dir,
+		Shards:  8,
+		Fork:    true,
+		OnCheckpoint: func(done, total int) {
+			if done >= 2 {
+				cancel()
+			}
+		},
+	}
+	if _, err := campaign.Run(ctx, forkTarget(), spec, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: got %v, want context.Canceled", err)
+	}
+
+	res, err := campaign.Run(context.Background(), forkTarget(), spec,
+		campaign.Config{Journal: dir, Resume: true, Fork: true})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if res.ShardsRestored == 0 {
+		t.Fatal("resume restored nothing; the kill happened too late to exercise restore")
+	}
+
+	ref, err := campaign.Run(context.Background(), forkTarget(), spec, campaign.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, res.Campaign, ref.Campaign)
+	// Restored shards contribute their journaled fork accounting, so the
+	// totals still reflect a fully forked campaign.
+	if res.Fork.Forked == 0 {
+		t.Fatalf("resumed run lost fork accounting: %+v", res.Fork)
+	}
+
+	// A slow-path resume of a fork-path journal replays identically: the
+	// journal records results, not execution strategy.
+	res2, err := campaign.Run(context.Background(), forkTarget(), spec,
+		campaign.Config{Journal: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, res2.Campaign, ref.Campaign)
+}
+
+// TestForkFallbackNonForkable: Fork on a target that does not implement
+// Forkable is a transparent no-op.
+func TestForkFallbackNonForkable(t *testing.T) {
+	spec := fakeSpec(3)
+	slow, err := campaign.Run(context.Background(), newFakeTarget(), spec, campaign.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := campaign.Run(context.Background(), newFakeTarget(), spec, campaign.Config{Fork: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, fast.Campaign, slow.Campaign)
+	if fast.Fork != (propane.ForkStats{}) {
+		t.Fatalf("non-Forkable target reported fork stats: %+v", fast.Fork)
+	}
+}

@@ -108,6 +108,37 @@ type checkpoint struct {
 	Shard   int           `json:"shard"`
 	Records []recordJSON  `json:"records"`
 	Skipped []SkippedCell `json:"skipped,omitempty"`
+	// Fork records the shard's fast-path statistics when the shard was
+	// executed with Config.Fork; absent otherwise (and in journals
+	// written before the fast path existed). Restored shards report
+	// these stats instead of re-earning them, so a resumed campaign's
+	// Result reflects what actually happened.
+	Fork *forkShardStats `json:"fork,omitempty"`
+}
+
+// forkShardStats is the per-shard slice of propane.ForkStats that is
+// attributable to a shard (snapshots are shared across shards and
+// excluded).
+type forkShardStats struct {
+	Forked    int64 `json:"forked,omitempty"`
+	Converged int64 `json:"conv,omitempty"`
+	MemoHits  int64 `json:"memo,omitempty"`
+	Fallbacks int64 `json:"fb,omitempty"`
+}
+
+func (s *forkShardStats) observe(oc propane.ForkOutcome) {
+	switch oc {
+	case propane.ForkRan:
+		s.Forked++
+	case propane.ForkConverged:
+		s.Forked++
+		s.Converged++
+	case propane.ForkMemoized:
+		s.Forked++
+		s.MemoHits++
+	case propane.ForkFellBack:
+		s.Fallbacks++
+	}
 }
 
 // recordJSON is the journal encoding of propane.Record. State values
@@ -122,6 +153,7 @@ type recordJSON struct {
 	Sampled  bool     `json:"smp,omitempty"`
 	Failure  bool     `json:"fail,omitempty"`
 	Crashed  bool     `json:"crash,omitempty"`
+	FlipErr  bool     `json:"flip_err,omitempty"`
 }
 
 func encodeRecord(r propane.Record) recordJSON {
@@ -142,6 +174,7 @@ func encodeRecord(r propane.Record) recordJSON {
 		Sampled:  r.Sampled,
 		Failure:  r.Failure,
 		Crashed:  r.Crashed,
+		FlipErr:  r.FlipErr,
 	}
 }
 
@@ -167,6 +200,7 @@ func decodeRecord(r recordJSON) (propane.Record, error) {
 		Sampled:       r.Sampled,
 		Failure:       r.Failure,
 		Crashed:       r.Crashed,
+		FlipErr:       r.FlipErr,
 	}, nil
 }
 

@@ -77,6 +77,9 @@ type Options struct {
 	// MaxRetries is the number of extra attempts for an infrastructure
 	// failure (hang, engine panic) before a cell is skipped.
 	MaxRetries int
+	// Fork enables the campaign engine's golden-state forking fast
+	// path (bit-identical to the slow path; see campaign.Config.Fork).
+	Fork bool
 }
 
 // CampaignConfig derives the engine configuration for one dataset. The
@@ -87,6 +90,7 @@ func (o Options) CampaignConfig(id string) campaign.Config {
 		Shards:     o.Shards,
 		Timeout:    o.RunTimeout,
 		MaxRetries: o.MaxRetries,
+		Fork:       o.Fork,
 	}
 	if o.Journal != "" {
 		cfg.Journal = filepath.Join(o.Journal, id)

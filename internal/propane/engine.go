@@ -38,6 +38,12 @@ type Spec struct {
 	// the paper's configuration). Larger strides scale campaigns down
 	// while preserving coverage of sign, exponent and mantissa regions.
 	BitStride int
+	// Fork opts into the golden-state forking fast path for targets
+	// implementing Forkable (see fork.go). It is an execution knob, not
+	// a result-determining parameter: records are bit-identical with it
+	// on or off, and it is deliberately excluded from campaign plan
+	// hashes. Non-Forkable targets fall back to the slow path.
+	Fork bool
 }
 
 // Validate checks the spec for structural problems.
@@ -160,6 +166,10 @@ type Record struct {
 	Failure bool
 	// Crashed reports whether the run panicked or returned an error.
 	Crashed bool
+	// FlipErr reports that the bit flip itself failed (VarRef.FlipBit
+	// returned an error), i.e. the injection was a silent no-op. Such
+	// records are visible rather than masquerading as benign runs.
+	FlipErr bool
 }
 
 // Campaign is the result of running a Spec against a target.
@@ -249,6 +259,17 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 	reg.Counter("campaign.golden_runs").Add(int64(len(tcs)))
 	metrics := NewRunMetrics(reg)
 
+	// Fast path: fork every cell of a column from one golden snapshot
+	// instead of re-running the fault-free prefix per cell. Opt-in, and
+	// only for targets that implement the Forkable contract; results
+	// are bit-identical either way (see fork.go).
+	var fork *ForkRunner
+	if spec.Fork {
+		if ft, ok := target.(Forkable); ok {
+			fork = NewForkRunner(ft, spec, mod)
+		}
+	}
+
 	// Injected runs are independent, so they fan out on the shared
 	// scheduler; indexed writes keep records in job order regardless of
 	// scheduling, and spec.Workers (0 = the global budget) bounds this
@@ -259,7 +280,17 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 		if metrics.Enabled() {
 			runStart = time.Now()
 		}
-		rec := RunJob(target, spec, mod, tcs[jobs[idx].TC], golden[jobs[idx].TC], jobs[idx])
+		j := jobs[idx]
+		var rec Record
+		fromFork := false
+		if fork != nil {
+			var outcome ForkOutcome
+			rec, outcome = fork.RunJob(j.TC, tcs[j.TC], golden[j.TC], j)
+			fromFork = outcome.FromFork()
+		}
+		if !fromFork {
+			rec = RunJob(target, spec, mod, tcs[j.TC], golden[j.TC], j)
+		}
 		records[idx] = rec
 		if metrics.Enabled() {
 			metrics.Observe(rec, time.Since(runStart))
@@ -267,6 +298,9 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 		return nil
 	}); err != nil {
 		return nil, fmt.Errorf("propane: campaign cancelled: %w", err)
+	}
+	if fork != nil {
+		fork.Report(reg)
 	}
 
 	varNames := make([]string, len(mod.Vars))
@@ -287,6 +321,7 @@ type RunMetrics struct {
 	cSampled   *telemetry.Counter
 	cFailures  *telemetry.Counter
 	cCrashes   *telemetry.Counter
+	cFlipErrs  *telemetry.Counter
 	hRunNS     *telemetry.Histogram
 }
 
@@ -302,6 +337,7 @@ func NewRunMetrics(reg *telemetry.Registry) *RunMetrics {
 		cSampled:   reg.Counter("campaign.states_sampled"),
 		cFailures:  reg.Counter("campaign.failures"),
 		cCrashes:   reg.Counter("campaign.crashes"),
+		cFlipErrs:  reg.Counter("campaign.flip_errors"),
 		hRunNS:     reg.Histogram("campaign.run_ns"),
 	}
 }
@@ -329,6 +365,9 @@ func (m *RunMetrics) Observe(rec Record, d time.Duration) {
 	}
 	if rec.Crashed {
 		m.cCrashes.Inc()
+	}
+	if rec.FlipErr {
+		m.cFlipErrs.Inc()
 	}
 }
 
@@ -367,6 +406,7 @@ func runInjected(target Target, spec Spec, mod ModuleInfo, tc TestCase, golden a
 		State:         probe.state,
 		Injected:      probe.injected,
 		Sampled:       probe.sampled,
+		FlipErr:       probe.flipErr,
 	}
 	switch {
 	case err != nil:
@@ -407,6 +447,7 @@ type injectProbe struct {
 	activations int
 	injected    bool
 	sampled     bool
+	flipErr     bool
 	state       []float64
 }
 
@@ -421,9 +462,13 @@ func (p *injectProbe) Visit(module string, loc Location, vars []VarRef) {
 		if !p.injected && p.activations == p.injTime {
 			for _, v := range vars {
 				if v.Name == p.varName {
-					// Width errors cannot occur: the campaign enumerates
-					// bits from the declared kind. Ignore defensively.
-					_ = v.FlipBit(p.bit)
+					// Width errors should not occur — the campaign
+					// enumerates bits from the declared kind — but a
+					// failed flip is a silent no-op injection, so it is
+					// surfaced on the record instead of discarded.
+					if err := v.FlipBit(p.bit); err != nil {
+						p.flipErr = true
+					}
 					break
 				}
 			}

@@ -181,7 +181,29 @@ type Outcome struct {
 }
 
 // Run implements propane.Target.
-func (System) Run(tc propane.TestCase, probe propane.Probe) (any, error) {
+func (s System) Run(tc propane.TestCase, probe propane.Probe) (any, error) {
+	st, err := s.newRunState(tc)
+	if err != nil {
+		return nil, err
+	}
+	return s.exec(st, probe, nil, 0, 0)
+}
+
+// runState is the complete resumable execution state of one run: the
+// loop position plus the simulation state. The simulation state is all
+// scalars, so a value copy is a deep copy.
+type runState struct {
+	iter  int // current main-loop iteration, 1-based
+	phase int // next phase to execute within the iteration (see exec)
+	sim   state
+
+	// Cached per-run VarRef slices (the scratch-slice reuse: closures
+	// capture fields of sim, so they are rebuilt lazily per runState
+	// and never cloned).
+	gearVars, massVars []propane.VarRef
+}
+
+func (s System) newRunState(tc propane.TestCase) (*runState, error) {
 	massLbs, ok := tc.Params["massLbs"]
 	if !ok {
 		return nil, fmt.Errorf("flightgear: test case %d missing massLbs", tc.ID)
@@ -190,30 +212,175 @@ func (System) Run(tc propane.TestCase, probe propane.Probe) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("flightgear: test case %d missing windKph", tc.ID)
 	}
+	return &runState{iter: 1, sim: *newState(massLbs*lbToKg, windKph*kphToMps)}, nil
+}
 
-	st := newState(massLbs*lbToKg, windKph*kphToMps)
-	gearVars := st.gearVarRefs()
-	massVars := st.massVarRefs()
+// Clone implements propane.State.
+func (r *runState) Clone() propane.State {
+	return &runState{iter: r.iter, phase: r.phase, sim: r.sim}
+}
 
-	for iter := 1; iter <= Iterations; iter++ {
+// Digest implements propane.State, fingerprinting every field that
+// determines the remainder of the run (position, kinematics, module
+// variables, phase bookkeeping and the accumulated outcome).
+func (r *runState) Digest() propane.Digest {
+	h := propane.NewStateHasher()
+	h.Int(r.iter)
+	h.Int(r.phase)
+	s := &r.sim
+	for _, v := range []float64{
+		s.x, s.h, s.v, s.vs, s.pitch, s.pitchRt, s.wind,
+		s.gearPosition, s.compression, s.normalForce, s.frictionForce,
+		s.rollCoeff, s.brakeCoeff, s.gearDrag, s.strutLoad,
+		s.emptyMass, s.fuelMass, s.maxFuel, s.totalMass, s.fuelFlow,
+		s.cgOffset, s.inertiaPitch, s.liftoffX,
+		s.outcome.TakeoffDistance, s.outcome.MaxPitchRateBeforeClear,
+	} {
+		h.Float64(v)
+	}
+	for _, b := range []bool{
+		s.weightOnWheels, s.airborne,
+		s.outcome.ReachedCritical, s.outcome.ReachedRotate,
+		s.outcome.ReachedSafe, s.outcome.Stalled, s.outcome.ClearedObstacle,
+	} {
+		h.Bool(b)
+	}
+	return h.Sum()
+}
+
+// refs returns the cached VarRef slices, building them on first use.
+// Golden and snapshot runs pass NopProbe and never call this, which
+// skips the per-run closure allocations entirely.
+func (r *runState) refs() (gear, mass []propane.VarRef) {
+	if r.gearVars == nil {
+		r.gearVars = r.sim.gearVarRefs()
+		r.massVars = r.sim.massVarRefs()
+	}
+	return r.gearVars, r.massVars
+}
+
+// Phase indices within one iteration. Each phase executes "everything
+// up to and including the next instrumentation visit's work", so a
+// snapshot taken at (iter, phase) resumes with that phase's visit as
+// the next visit issued.
+const (
+	phaseGearEntry = iota // Gear Entry visit + updateGear
+	phaseGearExit         // Gear Exit visit
+	phaseMassEntry        // Mass Entry visit + updateMass
+	phaseMassExit         // Mass Exit visit + integrate
+)
+
+// exec advances the simulation from st's position to completion,
+// issuing probe visits in the canonical order. With stopIter > 0 it
+// instead returns (nil, nil) the moment st reaches (stopIter,
+// stopPhase) — before that phase's visit — which is how Snapshot
+// positions a state. ctl, when non-nil, is consulted at the end of
+// every completed iteration.
+func (s System) exec(st *runState, probe propane.Probe, ctl *propane.RunControl, stopIter, stopPhase int) (any, error) {
+	_, nop := probe.(propane.NopProbe)
+	var gearVars, massVars []propane.VarRef
+	if !nop {
+		gearVars, massVars = st.refs()
+	}
+	step := 0
+	for st.iter <= Iterations {
 		// Control module: consistent input vector per iteration
 		// (§VI-C). Full throttle after init; pitch command by phase.
 		throttle := 0.0
-		if iter > InitIterations {
+		if st.iter > InitIterations {
 			throttle = 1.0
 		}
 
-		probe.Visit(ModuleGear, propane.Entry, gearVars)
-		st.updateGear()
-		probe.Visit(ModuleGear, propane.Exit, gearVars)
-
-		probe.Visit(ModuleMass, propane.Entry, massVars)
-		st.updateMass()
-		probe.Visit(ModuleMass, propane.Exit, massVars)
-
-		st.integrate(throttle)
+		if st.phase == phaseGearEntry {
+			if st.iter == stopIter && stopPhase == phaseGearEntry {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleGear, propane.Entry, gearVars)
+			}
+			st.sim.updateGear()
+			st.phase = phaseGearExit
+		}
+		if st.phase == phaseGearExit {
+			if st.iter == stopIter && stopPhase == phaseGearExit {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleGear, propane.Exit, gearVars)
+			}
+			st.phase = phaseMassEntry
+		}
+		if st.phase == phaseMassEntry {
+			if st.iter == stopIter && stopPhase == phaseMassEntry {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleMass, propane.Entry, massVars)
+			}
+			st.sim.updateMass()
+			st.phase = phaseMassExit
+		}
+		if st.phase == phaseMassExit {
+			if st.iter == stopIter && stopPhase == phaseMassExit {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleMass, propane.Exit, massVars)
+			}
+			st.sim.integrate(throttle)
+			st.phase = phaseGearEntry
+			st.iter++
+			step++
+			if ctl.Checkpoint(step, st) {
+				return nil, propane.ErrConverged
+			}
+		}
 	}
-	return st.outcome, nil
+	return st.sim.outcome, nil
+}
+
+var _ propane.Forkable = System{}
+
+// Snapshot implements propane.Forkable: every module location activates
+// exactly once per main-loop iteration, so the activation-th visit of
+// (module, at) occurs in iteration `activation` at a fixed phase.
+func (s System) Snapshot(tc propane.TestCase, module string, at propane.Location, activation int) (propane.State, bool, error) {
+	var phase int
+	switch {
+	case module == ModuleGear && at == propane.Entry:
+		phase = phaseGearEntry
+	case module == ModuleGear && at == propane.Exit:
+		phase = phaseGearExit
+	case module == ModuleMass && at == propane.Entry:
+		phase = phaseMassEntry
+	case module == ModuleMass && at == propane.Exit:
+		phase = phaseMassExit
+	default:
+		return nil, false, nil
+	}
+	if activation < 1 || activation > Iterations {
+		return nil, false, nil
+	}
+	st, err := s.newRunState(tc)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := s.exec(st, propane.NopProbe{}, nil, activation, phase); err != nil {
+		return nil, false, err
+	}
+	if st.iter != activation || st.phase != phase {
+		return nil, false, nil
+	}
+	return st, true, nil
+}
+
+// RunFrom implements propane.Forkable.
+func (s System) RunFrom(st propane.State, probe propane.Probe, ctl *propane.RunControl) (any, error) {
+	rs, ok := st.(*runState)
+	if !ok {
+		return nil, fmt.Errorf("flightgear: foreign state %T", st)
+	}
+	return s.exec(rs, probe, ctl, 0, 0)
 }
 
 // Failed implements propane.Target, applying the failure specification

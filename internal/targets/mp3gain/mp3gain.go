@@ -178,32 +178,239 @@ func (g *gain) varRefs() []propane.VarRef {
 // loudness (activating once per track), then RGain computes and applies
 // the gain (activating once per track).
 func (s System) Run(tc propane.TestCase, probe propane.Probe) (any, error) {
-	tracks := s.generateTracks(tc.Seed)
+	return s.exec(s.newRunState(tc), probe, nil, -1, 0)
+}
 
-	an := &analysis{}
-	anVars := an.varRefs()
-	ga := &gain{targetDB: targetLoudness, scale: 1}
-	gaVars := ga.varRefs()
+// runState is the complete resumable execution state of one run: the
+// loop position, both module states, the rolling digests of all output
+// emitted so far, and any value pending between paired visits.
+type runState struct {
+	track int // current track index, 0-based
+	phase int // next phase to execute within the track (see exec)
 
-	outputs := make([][]byte, 0, len(tracks))
-	for i, pcm := range tracks {
-		// --- GAnalysis: loudness measurement for track i ---
-		probe.Visit(ModuleGAnalysis, propane.Entry, anVars)
-		s.analyse(an, pcm)
-		probe.Visit(ModuleGAnalysis, propane.Exit, anVars)
+	an analysis
+	ga gain
 
-		// --- RGain: gain computation and application for track i ---
-		ga.trackIndex = int64(i)
+	// Rolling digests of the normalised outputs folded in so far. d0 is
+	// digest-compatible with the historical whole-output FNV-1a hash and
+	// becomes Outcome.OutputDigest; d1 is an independent second stream
+	// that exists only to strengthen Digest against collisions.
+	d0, d1 uint64
 
-		probe.Visit(ModuleRGain, propane.Entry, gaVars)
-		out, err := ga.apply(an.loudness, an.peak, pcm)
-		probe.Visit(ModuleRGain, propane.Exit, gaVars)
-		if err != nil {
-			return nil, fmt.Errorf("mp3gain: track %d: %w", i, err)
-		}
-		outputs = append(outputs, out)
+	// pendingOut/pendingErr carry apply's result between the RGain Entry
+	// and Exit visits. pendingOut is never mutated in place, so clones
+	// may share it.
+	pendingOut []byte
+	pendingErr error
+
+	// tracks is the synthesised input PCM, read-only for the whole run
+	// and shared between clones.
+	tracks [][]float64
+
+	// Cached per-run VarRef slices (closures capture fields of this
+	// struct, so they are rebuilt lazily per runState and never cloned).
+	anVars, gaVars []propane.VarRef
+}
+
+const (
+	digestBasis0 = 14695981039346656037
+	digestBasis1 = 0x9e3779b97f4a7c15
+	digestPrime  = 1099511628211
+)
+
+func (s System) newRunState(tc propane.TestCase) *runState {
+	return &runState{
+		an:     analysis{},
+		ga:     gain{targetDB: targetLoudness, scale: 1},
+		d0:     digestBasis0,
+		d1:     digestBasis1,
+		tracks: s.generateTracks(tc.Seed),
 	}
-	return Outcome{OutputDigest: digestPCM(outputs)}, nil
+}
+
+// foldOutput folds one completed track's output into the rolling
+// digests, matching the historical per-track FNV-1a framing (bytes,
+// then an 0xff terminator).
+func (r *runState) foldOutput(out []byte) {
+	d0, d1 := r.d0, r.d1
+	for _, b := range out {
+		d0 = (d0 ^ uint64(b)) * digestPrime
+		d1 = (d1 ^ uint64(b)) * digestPrime
+	}
+	r.d0 = (d0 ^ 0xff) * digestPrime
+	r.d1 = (d1 ^ 0xff) * digestPrime
+}
+
+// Clone implements propane.State. tracks and pendingOut are shared:
+// both are read-only once created.
+func (r *runState) Clone() propane.State {
+	return &runState{
+		track: r.track, phase: r.phase,
+		an: r.an, ga: r.ga,
+		d0: r.d0, d1: r.d1,
+		pendingOut: r.pendingOut, pendingErr: r.pendingErr,
+		tracks: r.tracks,
+	}
+}
+
+// Digest implements propane.State, fingerprinting every field that
+// determines the remainder of the run. The input tracks are a pure
+// function of the test case and are excluded.
+func (r *runState) Digest() propane.Digest {
+	h := propane.NewStateHasher()
+	h.Int(r.track)
+	h.Int(r.phase)
+	h.Float64(r.an.sumSquares)
+	h.Float64(r.an.windowRMS)
+	h.Float64(r.an.peak)
+	h.Float64(r.an.loudness)
+	h.Int64(r.an.windowIndex)
+	h.Int64(r.an.sampleCount)
+	h.Float64(r.ga.targetDB)
+	h.Float64(r.ga.gainDB)
+	h.Float64(r.ga.scale)
+	h.Int64(r.ga.clipCount)
+	h.Int64(r.ga.trackIndex)
+	h.Uint64(r.d0)
+	h.Uint64(r.d1)
+	h.Bytes(r.pendingOut)
+	h.Bool(r.pendingErr != nil)
+	return h.Sum()
+}
+
+// refs returns the cached VarRef slices, building them on first use.
+// Golden and snapshot runs pass NopProbe and never call this, which
+// skips the per-run closure allocations entirely.
+func (r *runState) refs() (anVars, gaVars []propane.VarRef) {
+	if r.anVars == nil {
+		r.anVars = r.an.varRefs()
+		r.gaVars = r.ga.varRefs()
+	}
+	return r.anVars, r.gaVars
+}
+
+// Phase indices within one track. Each phase executes "everything up to
+// and including the next instrumentation visit's work", so a snapshot
+// taken at (track, phase) resumes with that phase's visit as the next
+// visit issued.
+const (
+	phaseGAEntry = iota // GAnalysis Entry visit + analyse
+	phaseGAExit         // GAnalysis Exit visit + trackIndex update
+	phaseRGEntry        // RGain Entry visit + apply
+	phaseRGExit         // RGain Exit visit + output fold
+)
+
+// exec advances the run from st's position to completion, issuing probe
+// visits in the canonical order. With stopTrack >= 0 it instead returns
+// (nil, nil) the moment st reaches (stopTrack, stopPhase) — before that
+// phase's visit — which is how Snapshot positions a state. ctl, when
+// non-nil, is consulted at the end of every completed track.
+func (s System) exec(st *runState, probe propane.Probe, ctl *propane.RunControl, stopTrack, stopPhase int) (any, error) {
+	_, nop := probe.(propane.NopProbe)
+	var anVars, gaVars []propane.VarRef
+	if !nop {
+		anVars, gaVars = st.refs()
+	}
+	step := 0
+	for st.track < len(st.tracks) {
+		i := st.track
+		pcm := st.tracks[i]
+
+		if st.phase == phaseGAEntry {
+			if st.track == stopTrack && stopPhase == phaseGAEntry {
+				return nil, nil
+			}
+			// --- GAnalysis: loudness measurement for track i ---
+			if !nop {
+				probe.Visit(ModuleGAnalysis, propane.Entry, anVars)
+			}
+			s.analyse(&st.an, pcm)
+			st.phase = phaseGAExit
+		}
+		if st.phase == phaseGAExit {
+			if st.track == stopTrack && stopPhase == phaseGAExit {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleGAnalysis, propane.Exit, anVars)
+			}
+			// --- RGain: gain computation and application for track i ---
+			st.ga.trackIndex = int64(i)
+			st.phase = phaseRGEntry
+		}
+		if st.phase == phaseRGEntry {
+			if st.track == stopTrack && stopPhase == phaseRGEntry {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleRGain, propane.Entry, gaVars)
+			}
+			st.pendingOut, st.pendingErr = st.ga.apply(st.an.loudness, st.an.peak, pcm)
+			st.phase = phaseRGExit
+		}
+		if st.phase == phaseRGExit {
+			if st.track == stopTrack && stopPhase == phaseRGExit {
+				return nil, nil
+			}
+			if !nop {
+				probe.Visit(ModuleRGain, propane.Exit, gaVars)
+			}
+			if st.pendingErr != nil {
+				return nil, fmt.Errorf("mp3gain: track %d: %w", i, st.pendingErr)
+			}
+			st.foldOutput(st.pendingOut)
+			st.pendingOut, st.pendingErr = nil, nil
+			st.phase = phaseGAEntry
+			st.track++
+			step++
+			if ctl.Checkpoint(step, st) {
+				return nil, propane.ErrConverged
+			}
+		}
+	}
+	return Outcome{OutputDigest: st.d0}, nil
+}
+
+var _ propane.Forkable = System{}
+
+// Snapshot implements propane.Forkable: every module location activates
+// exactly once per track, so the activation-th visit of (module, at)
+// occurs on track activation-1 at a fixed phase.
+func (s System) Snapshot(tc propane.TestCase, module string, at propane.Location, activation int) (propane.State, bool, error) {
+	var phase int
+	switch {
+	case module == ModuleGAnalysis && at == propane.Entry:
+		phase = phaseGAEntry
+	case module == ModuleGAnalysis && at == propane.Exit:
+		phase = phaseGAExit
+	case module == ModuleRGain && at == propane.Entry:
+		phase = phaseRGEntry
+	case module == ModuleRGain && at == propane.Exit:
+		phase = phaseRGExit
+	default:
+		return nil, false, nil
+	}
+	if activation < 1 || activation > s.tracksPerCase() {
+		return nil, false, nil
+	}
+	track := activation - 1
+	st := s.newRunState(tc)
+	if _, err := s.exec(st, propane.NopProbe{}, nil, track, phase); err != nil {
+		return nil, false, err
+	}
+	if st.track != track || st.phase != phase {
+		return nil, false, nil
+	}
+	return st, true, nil
+}
+
+// RunFrom implements propane.Forkable.
+func (s System) RunFrom(st propane.State, probe propane.Probe, ctl *propane.RunControl) (any, error) {
+	rs, ok := st.(*runState)
+	if !ok {
+		return nil, fmt.Errorf("mp3gain: foreign state %T", st)
+	}
+	return s.exec(rs, probe, ctl, -1, 0)
 }
 
 // analyse computes the ReplayGain-style loudness of one track: RMS over
@@ -301,19 +508,6 @@ func (s System) generateTracks(seed uint64) [][]float64 {
 		tracks[t] = pcm
 	}
 	return tracks
-}
-
-func digestPCM(outputs [][]byte) uint64 {
-	h := uint64(14695981039346656037)
-	for _, out := range outputs {
-		for _, b := range out {
-			h ^= uint64(b)
-			h *= 1099511628211
-		}
-		h ^= 0xff
-		h *= 1099511628211
-	}
-	return h
 }
 
 // sortFloats is a small insertion sort; window counts are tiny and this
