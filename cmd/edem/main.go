@@ -66,6 +66,8 @@ func run(args []string) error {
 		return cmdExport(rest)
 	case "serve":
 		return cmdServe(rest)
+	case "bench-serve":
+		return cmdBenchServe(rest)
 	case "latency":
 		return cmdLatency(rest)
 	case "rules":
@@ -99,6 +101,8 @@ commands:
   serve     -bundle FILE [-addr HOST:PORT] [-queue N]     serve detector evaluations over HTTP/JSON
             [-deadline D] [-drain D] [-policy fail-open|fail-closed]
             [-breaker-threshold N] [-breaker-cooldown D] [-allow-delay]
+  bench-serve -bundle FILE [-out FILE] [-duration D]      measure serving throughput/latency per codec
+            [-conns N] [-batch N] [-detector ID]          and evaluation mode, write BENCH_serve.json
   latency   -dataset ID                                   trace detection latency of a learnt detector
   rules     -dataset ID                                   learn a PRISM rule-induction predicate instead
   rank      -dataset ID [-method ig|gr|su]                rank the module variables by class information

@@ -349,6 +349,28 @@ func NewDetectorServer(b *DetectorBundle, path string, cfg ServeConfig) (*Detect
 	return serve.NewServer(b, path, cfg)
 }
 
+// ServeCodec selects the wire format a DetectorClient speaks.
+type ServeCodec = serve.Codec
+
+// Wire formats for the serving runtime. JSON is the compatibility
+// surface; the binary batch frame moves IEEE-754 bits verbatim in a
+// columnar length-prefixed layout and is ~an order of magnitude faster
+// end to end (see DESIGN.md §14).
+const (
+	CodecJSON   = serve.CodecJSON
+	CodecBinary = serve.CodecBinary
+)
+
+// CompiledProgram is a predicate lowered to a flat threshold table —
+// the allocation-free evaluation form the serving runtime runs.
+type CompiledProgram = predicate.Program
+
+// CompilePredicate lowers a DNF predicate into a CompiledProgram whose
+// Eval is bit-identical to the interpreted Predicate.Eval. Predicates
+// the compiler cannot represent exactly return an error; callers (like
+// the serving runtime) fall back to the interpreter.
+func CompilePredicate(p *Predicate) (*CompiledProgram, error) { return predicate.Compile(p) }
+
 // WriteCSV serialises a dataset as CSV (header row, class column last).
 func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }
 

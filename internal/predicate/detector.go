@@ -46,13 +46,24 @@ type Detector struct {
 	// guardSet is the set form of GuardActivations, built on the first
 	// guarded Visit so membership is O(1) instead of a linear scan.
 	guardSet map[int]struct{}
+	// prog is the compiled form of Pred, used by Visit when present. It
+	// is bit-identical to the interpreted Pred.Eval (pinned by the
+	// differential suite), so detectors built literally — with a nil
+	// prog — observe exactly the same alarms, just slower.
+	prog *Program
 }
 
 var _ propane.Probe = (*Detector)(nil)
 
-// NewDetector installs pred at the given location.
+// NewDetector installs pred at the given location. The predicate is
+// compiled to a flat threshold program where possible; a predicate the
+// compiler refuses falls back to interpreted evaluation.
 func NewDetector(module string, loc propane.Location, pred *Predicate) *Detector {
-	return &Detector{Module: module, Location: loc, Pred: pred}
+	d := &Detector{Module: module, Location: loc, Pred: pred}
+	if prog, err := Compile(pred); err == nil {
+		d.prog = prog
+	}
+	return d
 }
 
 // Visit implements propane.Probe.
@@ -82,7 +93,13 @@ func (d *Detector) Visit(module string, loc propane.Location, vars []propane.Var
 	for i, v := range vars {
 		state[i] = v.Read()
 	}
-	if d.Pred.Eval(state) {
+	flagged := false
+	if d.prog != nil {
+		flagged = d.prog.Eval(state)
+	} else {
+		flagged = d.Pred.Eval(state)
+	}
+	if flagged {
 		d.mu.Lock()
 		d.Alarms = append(d.Alarms, visit)
 		d.mu.Unlock()

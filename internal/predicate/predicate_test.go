@@ -10,7 +10,7 @@ import (
 	"edem/internal/stats"
 )
 
-func trainTree(t *testing.T, n int, seed uint64) (*tree.Tree, *dataset.Dataset) {
+func trainTree(t testing.TB, n int, seed uint64) (*tree.Tree, *dataset.Dataset) {
 	t.Helper()
 	d := dataset.New("train", []dataset.Attribute{
 		dataset.NumericAttr("a"),

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -36,6 +37,38 @@ func retryable(code int) bool {
 	return code >= 500 && code != http.StatusInternalServerError
 }
 
+// Codec selects the wire format a Client speaks to the serving runtime.
+type Codec int
+
+const (
+	// CodecJSON is the default human-debuggable JSON transport (hex
+	// bit-pattern escapes carry NaN/±Inf).
+	CodecJSON Codec = iota
+	// CodecBinary is the columnar binary batch frame: raw IEEE-754 bit
+	// patterns, no per-sample parsing cost, exact by construction.
+	CodecBinary
+)
+
+// String returns the flag spelling of the codec.
+func (c Codec) String() string {
+	if c == CodecBinary {
+		return "binary"
+	}
+	return "json"
+}
+
+// ParseCodec parses the flag spelling.
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "json":
+		return CodecJSON, nil
+	case "binary":
+		return CodecBinary, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown codec %q (want json or binary)", s)
+	}
+}
+
 // Client is a retrying client for the serving runtime, built for batch
 // re-validation against a remote service: transient failures (network
 // errors, sheds, drains) retry with bounded exponential backoff, and
@@ -47,6 +80,10 @@ type Client struct {
 	// HTTP is the underlying client; nil uses http.DefaultClient
 	// (per-call deadlines come from the context).
 	HTTP *http.Client
+	// Codec selects the evaluate wire format (default CodecJSON). Both
+	// codecs yield bit-identical verdicts; binary skips the JSON
+	// formatting and parsing costs on large batches.
+	Codec Codec
 	// MaxRetries is the number of additional attempts after the first
 	// (default 3).
 	MaxRetries int
@@ -90,10 +127,17 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d
 }
 
-// Evaluate posts one batch of samples to the named detector, retrying
-// transient failures until ctx expires or the retry budget runs out.
+// Evaluate posts one batch of samples to the named detector over the
+// client's codec, retrying transient failures until ctx expires or the
+// retry budget runs out.
 func (c *Client) Evaluate(ctx context.Context, detector string, samples []Sample) (*EvalResponse, error) {
-	body, err := json.Marshal(EvalRequest{Detector: detector, Samples: samples})
+	var body []byte
+	var err error
+	if c.Codec == CodecBinary {
+		body, err = EncodeBinaryRequest(nil, detector, samples, 0, 0)
+	} else {
+		body, err = json.Marshal(EvalRequest{Detector: detector, Samples: samples})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -180,12 +224,18 @@ func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 }
 
 // post performs one attempt and maps non-2xx statuses to StatusError.
+// The response codec follows the response Content-Type (the server
+// mirrors the request codec for evaluations; errors stay JSON).
 func (c *Client) post(ctx context.Context, path string, body []byte) (*EvalResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	if c.Codec == CodecBinary {
+		req.Header.Set("Content-Type", ContentTypeBinary)
+	} else {
+		req.Header.Set("Content-Type", ContentTypeJSON)
+	}
 	res, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -202,6 +252,13 @@ func (c *Client) post(ctx context.Context, path string, body []byte) (*EvalRespo
 			msg = er.Error
 		}
 		return nil, &StatusError{Code: res.StatusCode, Msg: msg}
+	}
+	if strings.HasPrefix(res.Header.Get("Content-Type"), ContentTypeBinary) {
+		out, _, err := DecodeBinaryResponse(data)
+		if err != nil {
+			return nil, fmt.Errorf("serve: decode response: %w", err)
+		}
+		return out, nil
 	}
 	var out EvalResponse
 	if err := json.Unmarshal(data, &out); err != nil {

@@ -104,6 +104,10 @@ type EvalResponse struct {
 	// response carries no verdicts ("breaker-open", "eval-error: ...")
 	// under the fail-open policy.
 	Degraded string `json:"degraded,omitempty"`
+	// BundleGeneration is the monotone generation number of the bundle
+	// that served the evaluation; it increments on every hot reload, so
+	// clients can observe reload atomicity.
+	BundleGeneration uint64 `json:"bundle_generation,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -121,6 +125,8 @@ type ReloadRequest struct {
 type ReloadResponse struct {
 	Path      string   `json:"path"`
 	Detectors []string `json:"detectors"`
+	// Generation is the bundle generation the reload installed.
+	Generation uint64 `json:"generation"`
 }
 
 // DetectorStatus is one row of GET /v1/detectors.

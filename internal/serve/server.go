@@ -7,11 +7,13 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"edem/internal/parallel"
+	"edem/internal/predicate"
 	"edem/internal/telemetry"
 )
 
@@ -73,6 +75,16 @@ type Config struct {
 	// evaluation latency for load and drain testing). Never enable it
 	// on a production service.
 	AllowDelay bool
+	// Interpret forces interpreted predicate evaluation instead of the
+	// compiled threshold programs. The two are bit-identical (pinned by
+	// the differential suite); the switch exists as the baseline leg of
+	// `edem bench-serve` and as an escape hatch should a compiled
+	// program ever need to be ruled out in production.
+	Interpret bool
+	// WrapEval, when non-nil, wraps each detector's evaluation function
+	// at bundle-build time (test instrumentation and future model
+	// families; the wrapper must be safe for concurrent use).
+	WrapEval func(id string, eval func(values []float64) bool) func(values []float64) bool
 	// Registry receives the serve.* metrics; nil falls back to the
 	// process default registry at construction time.
 	Registry *telemetry.Registry
@@ -117,6 +129,10 @@ type servedDetector struct {
 // their detector from, so a reload never changes a request mid-way.
 type bundleState struct {
 	path string
+	// gen is the monotone bundle generation: 1 for the initial load,
+	// +1 per successful reload. Responses carry it so clients (and the
+	// -race reload hammer) can observe swap atomicity.
+	gen  uint64
 	ids  []string // sorted, for stable status listings
 	dets map[string]*servedDetector
 }
@@ -143,6 +159,7 @@ type jobResult struct {
 type Server struct {
 	cfg    Config
 	bundle atomic.Pointer[bundleState]
+	gens   atomic.Uint64 // bundle generation counter; see bundleState.gen
 
 	queue     chan *job
 	stop      chan struct{}
@@ -150,18 +167,23 @@ type Server struct {
 	workersWG sync.WaitGroup
 	draining  atomic.Bool
 
-	reg         *telemetry.Registry
-	mRequests   *telemetry.Counter
-	mSheds      *telemetry.Counter
-	mTrips      *telemetry.Counter
-	mTransits   *telemetry.Counter
-	mRejections *telemetry.Counter
-	mReloads    *telemetry.Counter
-	mEvals      *telemetry.Counter
-	mAlarms     *telemetry.Counter
-	mEvalErrors *telemetry.Counter
-	gQueue      *telemetry.Gauge
-	hRequestNS  *telemetry.Histogram
+	reg          *telemetry.Registry
+	mRequests    *telemetry.Counter
+	mSheds       *telemetry.Counter
+	mTrips       *telemetry.Counter
+	mTransits    *telemetry.Counter
+	mRejections  *telemetry.Counter
+	mReloads     *telemetry.Counter
+	mEvals       *telemetry.Counter
+	mAlarms      *telemetry.Counter
+	mEvalErrors  *telemetry.Counter
+	mJSONReqs    *telemetry.Counter
+	mBinaryReqs  *telemetry.Counter
+	mCompiled    *telemetry.Counter
+	mCompAtoms   *telemetry.Counter
+	mCompFallbks *telemetry.Counter
+	gQueue       *telemetry.Gauge
+	hRequestNS   *telemetry.Histogram
 }
 
 // NewServer builds a server from a validated bundle and starts its
@@ -185,6 +207,11 @@ func NewServer(b *Bundle, path string, cfg Config) (*Server, error) {
 	s.mEvals = s.reg.Counter("serve.evals")
 	s.mAlarms = s.reg.Counter("serve.alarms")
 	s.mEvalErrors = s.reg.Counter("serve.eval_errors")
+	s.mJSONReqs = s.reg.Counter("serve.json_requests")
+	s.mBinaryReqs = s.reg.Counter("serve.binary_requests")
+	s.mCompiled = s.reg.Counter("predicate.compile_programs")
+	s.mCompAtoms = s.reg.Counter("predicate.compile_atoms")
+	s.mCompFallbks = s.reg.Counter("predicate.compile_fallbacks")
 	s.gQueue = s.reg.Gauge("serve.queue_depth")
 	s.hRequestNS = s.reg.Histogram("serve.request_ns")
 
@@ -202,20 +229,40 @@ func NewServer(b *Bundle, path string, cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// buildState validates the bundle and wires fresh breakers (reload
-// deliberately resets breaker state: a new predicate generation starts
-// with a clean slate).
+// buildState validates the bundle, compiles every predicate into its
+// flat threshold program (interpreted fallback when the compiler
+// refuses one — predicate.compile_fallbacks counts those), and wires
+// fresh breakers (reload deliberately resets breaker state: a new
+// predicate generation starts with a clean slate).
 func (s *Server) buildState(b *Bundle, path string) (*bundleState, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
-	st := &bundleState{path: path, dets: make(map[string]*servedDetector, len(b.Detectors))}
+	st := &bundleState{
+		path: path,
+		gen:  s.gens.Add(1),
+		dets: make(map[string]*servedDetector, len(b.Detectors)),
+	}
 	for _, e := range b.Detectors {
 		pred := e.Predicate
+		eval := pred.Eval
+		if s.cfg.Interpret {
+			// Baseline leg: walk the AST per sample.
+		} else if prog, err := predicate.Compile(pred); err == nil {
+			eval = prog.Eval
+			s.mCompiled.Inc()
+			s.mCompAtoms.Add(int64(prog.Atoms()))
+		} else {
+			s.mCompFallbks.Inc()
+			s.cfg.Logf("serve: detector %s: compile fallback to interpreter: %v", e.ID, err)
+		}
+		if s.cfg.WrapEval != nil {
+			eval = s.cfg.WrapEval(e.ID, eval)
+		}
 		det := &servedDetector{
 			entry:   e,
 			breaker: NewBreaker(s.cfg.Breaker),
-			eval:    pred.Eval,
+			eval:    eval,
 		}
 		det.breaker.onTransition = func(from, to BreakerState) {
 			s.mTransits.Inc()
@@ -259,6 +306,12 @@ func (s *Server) Detectors() []string {
 	return append([]string(nil), s.bundle.Load().ids...)
 }
 
+// Generation reports the monotone generation number of the currently
+// loaded bundle (1 for the initial load, +1 per successful reload).
+func (s *Server) Generation() uint64 {
+	return s.bundle.Load().gen
+}
+
 // Close stops the evaluation workers. Call after the HTTP layer has
 // drained; queued jobs whose handlers are gone resolve harmlessly into
 // their buffered channels.
@@ -299,15 +352,33 @@ func (s *Server) runJob(j *job) jobResult {
 		}
 	}
 	verdicts := make([]bool, len(j.samples))
-	err := parallel.ForEach(j.ctx, len(j.samples), s.cfg.Workers, func(i int) (rerr error) {
-		defer func() {
-			if r := recover(); r != nil {
-				rerr = fmt.Errorf("serve: evaluation panic: %v", r)
+	var err error
+	if len(j.samples) <= inlineEvalBatch {
+		// Small batches evaluate inline: one compiled-program eval is
+		// tens of nanoseconds, far below the cost of fanning the batch
+		// out through the worker pool.
+		err = func() (rerr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					rerr = fmt.Errorf("serve: evaluation panic: %v", r)
+				}
+			}()
+			for i := range j.samples {
+				verdicts[i] = j.det.eval(j.samples[i])
 			}
+			return nil
 		}()
-		verdicts[i] = j.det.eval(j.samples[i])
-		return nil
-	})
+	} else {
+		err = parallel.ForEach(j.ctx, len(j.samples), s.cfg.Workers, func(i int) (rerr error) {
+			defer func() {
+				if r := recover(); r != nil {
+					rerr = fmt.Errorf("serve: evaluation panic: %v", r)
+				}
+			}()
+			verdicts[i] = j.det.eval(j.samples[i])
+			return nil
+		})
+	}
 	if err != nil {
 		return jobResult{err: err}
 	}
@@ -425,7 +496,8 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, ReloadResponse{Path: s.bundle.Load().path, Detectors: ids})
+	st := s.bundle.Load()
+	writeJSON(w, http.StatusOK, ReloadResponse{Path: st.path, Detectors: ids, Generation: st.gen})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -442,6 +514,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // far past any sane batch; reject early rather than buffer).
 const maxRequestBody = 16 << 20
 
+// inlineEvalBatch is the batch size at or below which a job evaluates
+// inline on its worker instead of fanning out through the shared pool.
+const inlineEvalBatch = 64
+
+// binRespPool recycles binary response encode buffers; the HTTP layer
+// copies on Write, so a buffer is reusable as soon as Write returns.
+var binRespPool = sync.Pool{New: func() any { return new([]byte) }}
+
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.mRequests.Inc()
@@ -455,24 +535,80 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server draining"})
 		return
 	}
+
+	// Codec negotiation: the request Content-Type selects JSON or the
+	// columnar binary batch frame; the response mirrors the request's
+	// codec. Error bodies stay JSON under both (clients key off the
+	// status code first).
+	isBinary := strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary)
 	var req EvalRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request: %v", err)})
-		return
+	var br *BinaryRequest
+	if isBinary {
+		s.mBinaryReqs.Inc()
+		var err error
+		br, err = readBinaryRequest(http.MaxBytesReader(w, r.Body, maxRequestBody))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+			return
+		}
+		req = EvalRequest{
+			Detector: br.Detector, Samples: br.Samples,
+			DeadlineMS: br.DeadlineMS, DelayMS: br.DelayMS,
+		}
+	} else {
+		s.mJSONReqs.Inc()
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody)).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("bad request: %v", err)})
+			return
+		}
 	}
+	// release returns the pooled binary parse state. It must not run
+	// while an evaluation may still read req.Samples — the abandoned-
+	// deadline path below leaves the buffers to the GC instead.
+	release := func() {
+		if br != nil {
+			br.Release()
+			br = nil
+		}
+	}
+
 	st := s.bundle.Load()
+	gen := st.gen
+	writeEval := func(code int, resp EvalResponse) {
+		resp.BundleGeneration = gen
+		if !isBinary {
+			writeJSON(w, code, resp)
+			return
+		}
+		bufp := binRespPool.Get().(*[]byte)
+		buf, err := EncodeBinaryResponse((*bufp)[:0], &resp, gen)
+		if err != nil {
+			binRespPool.Put(bufp)
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", ContentTypeBinary)
+		w.WriteHeader(code)
+		_, _ = w.Write(buf)
+		*bufp = buf
+		binRespPool.Put(bufp)
+	}
+
 	det, ok := st.dets[req.Detector]
 	if !ok {
+		release()
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: fmt.Sprintf("unknown detector %q", req.Detector)})
 		return
 	}
 	if len(req.Samples) == 0 {
+		release()
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "no samples"})
 		return
 	}
 	arity := len(det.entry.Predicate.Vars)
 	for i, sm := range req.Samples {
 		if len(sm) != arity {
+			release()
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{
 				Error: fmt.Sprintf("sample %d has %d values, detector %s wants %d", i, len(sm), req.Detector, arity)})
 			return
@@ -493,8 +629,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	// detectors keep serving untouched.
 	if !det.breaker.Allow() {
 		s.mRejections.Inc()
+		release()
 		if s.cfg.Policy == FailOpen {
-			writeJSON(w, http.StatusOK, EvalResponse{
+			writeEval(http.StatusOK, EvalResponse{
 				Detector: req.Detector,
 				Degraded: "breaker-open",
 			})
@@ -527,6 +664,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.mSheds.Inc()
 		det.breaker.Cancel() // shedding is not a detector outcome
+		release()
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: "admission queue full"})
 		return
@@ -534,6 +672,9 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-j.done:
+		// The evaluation is over: the pooled request buffers are free
+		// whatever the outcome (verdicts/alarms never alias them).
+		release()
 		if res.err != nil {
 			if ctx.Err() != nil {
 				// Deadline, not a detector fault.
@@ -544,7 +685,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			s.mEvalErrors.Inc()
 			det.breaker.Record(false)
 			if s.cfg.Policy == FailOpen {
-				writeJSON(w, http.StatusOK, EvalResponse{
+				writeEval(http.StatusOK, EvalResponse{
 					Detector: req.Detector,
 					Degraded: "eval-error: " + res.err.Error(),
 				})
@@ -558,7 +699,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		det.alarms.Add(int64(len(res.alarms)))
 		s.mEvals.Add(int64(len(res.verdicts)))
 		s.mAlarms.Add(int64(len(res.alarms)))
-		writeJSON(w, http.StatusOK, EvalResponse{
+		writeEval(http.StatusOK, EvalResponse{
 			Detector:  req.Detector,
 			Verdicts:  res.verdicts,
 			Alarms:    res.alarms,
@@ -566,8 +707,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		})
 	case <-ctx.Done():
 		// The job may still be queued or running; the worker will
-		// resolve it into the buffered channel. A queue-stuck deadline
-		// is load, not a detector fault: no breaker penalty.
+		// resolve it into the buffered channel, and the pooled request
+		// state stays out of the pool (GC reclaims it) because the
+		// evaluation may still be reading the samples. A queue-stuck
+		// deadline is load, not a detector fault: no breaker penalty.
 		det.breaker.Cancel()
 		writeJSON(w, http.StatusGatewayTimeout, ErrorResponse{Error: "deadline exceeded"})
 	}

@@ -3,9 +3,9 @@
 # snapshots, so the perf trajectory is comparable PR-over-PR.
 #
 # Usage:
-#   scripts/bench.sh            # writes BENCH_refine.json + BENCH_campaign.json
+#   scripts/bench.sh            # writes BENCH_refine.json + BENCH_campaign.json + BENCH_serve.json
 #   BENCHTIME=3x scripts/bench.sh
-#   OUT=/tmp/refine.json CAMPAIGN_OUT=/tmp/campaign.json scripts/bench.sh
+#   OUT=/tmp/refine.json CAMPAIGN_OUT=/tmp/campaign.json SERVE_OUT=/tmp/serve.json scripts/bench.sh
 #
 # BENCH_refine.json covers the refinement grid end-to-end
 # (BenchmarkRefineGrid, serial + budgeted workers) plus the micro
@@ -13,6 +13,10 @@
 # BENCH_campaign.json covers the resumable campaign engine
 # (BenchmarkCampaign: bare propane reference, engine overhead,
 # journaled checkpointing, and journal replay = resume overhead).
+# BENCH_serve.json covers the serving runtime via `edem bench-serve`:
+# latency percentiles, throughput and shed rate for every codec ×
+# evaluation-mode leg (json/binary × interpreted/compiled) against a
+# bundle exported from a real methodology run.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -65,3 +69,15 @@ END {
 
 run_suite 'BenchmarkRefineGrid|BenchmarkMicro_C45Induction|BenchmarkMicro_SMOTE|BenchmarkMicro_CrossValidate' "${OUT:-BENCH_refine.json}"
 run_suite 'BenchmarkCampaign/' "${CAMPAIGN_OUT:-BENCH_campaign.json}"
+
+# Serving suite: export a real detector bundle, then drive the load
+# harness. SERVE_DURATION tunes the per-leg measurement window.
+TMPDIR_SERVE="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SERVE"' EXIT
+go build -o "$TMPDIR_SERVE/edem" ./cmd/edem
+"$TMPDIR_SERVE/edem" export -dataset MG-A1 -scale 2 -stride 16 \
+    -out "$TMPDIR_SERVE/bundle.json"
+"$TMPDIR_SERVE/edem" bench-serve -bundle "$TMPDIR_SERVE/bundle.json" \
+    -out "${SERVE_OUT:-BENCH_serve.json}" \
+    -duration "${SERVE_DURATION:-3s}"
+echo "wrote ${SERVE_OUT:-BENCH_serve.json}"
