@@ -26,6 +26,7 @@ import (
 	"edem/internal/campaign"
 	"edem/internal/core"
 	"edem/internal/dataset"
+	"edem/internal/fabric"
 	"edem/internal/mining/attrsel"
 	"edem/internal/mining/eval"
 	"edem/internal/mining/rules"
@@ -52,6 +53,8 @@ func run(args []string) error {
 	switch cmd {
 	case "campaign":
 		return cmdCampaign(rest)
+	case "fabric":
+		return cmdFabric(rest)
 	case "tables":
 		return cmdTables(rest)
 	case "run":
@@ -92,6 +95,10 @@ commands:
   campaign  -dataset ID|-all -journal DIR [-resume]       run a resumable fault-injection campaign
             [-shards N] [-timeout D] [-max-retries N] [-stop-after N] [-stats]
             [-fork]  fork injected runs from per-column golden snapshots (~10x)
+            [-incremental]  after a spec change, re-run only invalidated shards
+  fabric    serve -dataset ID -journal DIR [-addr H:P]    coordinate a distributed campaign
+            [-resume] [-incremental] [-lease-ttl D] [-linger D]
+            work  -dataset ID -coordinator URL [-name N]  execute leased shards for a coordinator
   tables    -table 2|3|4 [-full] [-scale N] [-stride N]   regenerate a paper table
   run       -dataset ID [-full]                           run Steps 1-4 on one dataset
   tree      -dataset ID                                   print the induced tree (Figure 2)
@@ -250,6 +257,7 @@ func cmdCampaign(args []string) error {
 	id := fs.String("dataset", "", "Table II dataset ID (empty with -all sweeps all 18)")
 	all := fs.Bool("all", false, "run every Table II dataset")
 	resume := fs.Bool("resume", false, "continue an existing journal instead of refusing it")
+	incremental := fs.Bool("incremental", false, "with -resume: after a spec/target change, keep shards whose test-case sections are unchanged and re-run only the invalidated ones")
 	stopAfter := fs.Int("stop-after", 0, "stop gracefully after N new checkpoints (0 = run to completion); the journal stays resumable")
 	showStats := fs.Bool("stats", false, "print the per-variable failure summary")
 	opts, tel := commonOpts(fs)
@@ -261,6 +269,10 @@ func cmdCampaign(args []string) error {
 	}
 	defer tel.finish()
 	opts.Resume = *resume
+	opts.Incremental = *incremental
+	if *incremental && !*resume {
+		return fmt.Errorf("-incremental requires -resume (it relaxes the resume plan check)")
+	}
 	ids := []string{*id}
 	switch {
 	case *all && *id != "":
@@ -332,6 +344,13 @@ func runOneCampaign(parent context.Context, id string, opts *core.Options, stopA
 	c := res.Campaign
 	fmt.Printf("campaign %s: plan %.12s, %d/%d shards run (%d restored), %d retries\n",
 		id, res.PlanHash, res.ShardsRun, res.Shards, res.ShardsRestored, res.Retries)
+	if res.TornTails > 0 {
+		fmt.Printf("  resume recovered %d torn checkpoint line(s); their shards re-ran\n", res.TornTails)
+	}
+	if res.ShardsInvalidated > 0 || res.ShardsReused > 0 {
+		fmt.Printf("  incremental: %d shard(s) invalidated, %d reused\n",
+			res.ShardsInvalidated, res.ShardsReused)
+	}
 	fmt.Printf("  %d injected runs, %d usable, %d failures\n",
 		len(c.Records), c.Usable(), c.Failures())
 	if f := res.Fork; f.Forked > 0 || f.Fallbacks > 0 {
@@ -349,6 +368,142 @@ func runOneCampaign(parent context.Context, id string, opts *core.Options, stopA
 		fmt.Print(propane.FormatStats(propane.Summarize(c)))
 	}
 	return nil
+}
+
+// cmdFabric dispatches the distributed-campaign verbs: `fabric serve`
+// runs the coordinator that owns the plan and journal, `fabric work`
+// runs a worker that leases and executes shards. A fabric journal is an
+// ordinary campaign journal: `edem campaign -resume` replays it and
+// sealing makes it byte-identical to a local run's.
+func cmdFabric(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("fabric needs a mode: serve (coordinator) or work (worker)")
+	}
+	mode, rest := args[0], args[1:]
+	switch mode {
+	case "serve":
+		return cmdFabricServe(rest)
+	case "work":
+		return cmdFabricWork(rest)
+	default:
+		return fmt.Errorf("unknown fabric mode %q (want serve or work)", mode)
+	}
+}
+
+func cmdFabricServe(args []string) error {
+	fs := flag.NewFlagSet("fabric serve", flag.ContinueOnError)
+	id := fs.String("dataset", "", "Table II dataset ID")
+	addr := fs.String("addr", "127.0.0.1:9090", "coordinator listen address")
+	resume := fs.Bool("resume", false, "continue an existing journal instead of refusing it")
+	incremental := fs.Bool("incremental", false, "with -resume: re-run only shards invalidated by a spec/target change")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "shard lease lifetime without a heartbeat")
+	linger := fs.Duration("linger", time.Second, "how long to keep serving after completion so idle workers see it")
+	opts, tel := commonOpts(fs)
+	fs.IntVar(&opts.Shards, "shards", 0, "checkpoint shard count (0 = ~256 runs per shard)")
+	if err := parseArgs(fs, args, opts, tel); err != nil {
+		return err
+	}
+	defer tel.finish()
+	opts.Resume = *resume
+	opts.Incremental = *incremental
+	if *incremental && !*resume {
+		return fmt.Errorf("-incremental requires -resume")
+	}
+	if *id == "" {
+		return fmt.Errorf("fabric serve needs -dataset ID")
+	}
+	if opts.Journal == "" {
+		return fmt.Errorf("fabric serve needs -journal DIR (the coordinator owns the journal)")
+	}
+	target, spec, err := core.SpecFor(*id, *opts)
+	if err != nil {
+		return err
+	}
+	co, err := fabric.NewCoordinator(target, spec, opts.CampaignConfig(*id), fabric.CoordinatorConfig{
+		LeaseTTL: *leaseTTL,
+		Linger:   *linger,
+		Logf:     stderrLogf,
+	})
+	if err != nil {
+		return err
+	}
+	st := co.Status()
+	fmt.Printf("fabric serve %s: plan %.12s, %d jobs in %d shards (%d already done)\n",
+		*id, st.Plan, st.Jobs, st.Shards, st.Done)
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	err = co.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Printf("fabric: coordinator listening on %s\n", a)
+	})
+	if err != nil {
+		return err
+	}
+	final := co.Status()
+	if final.Complete {
+		fmt.Printf("fabric serve %s: complete, journal sealed (%d/%d shards); replay with:\n  edem campaign -dataset %s -journal %s -resume\n",
+			*id, final.Done, final.Shards, *id, opts.Journal)
+	} else {
+		fmt.Printf("fabric serve %s: stopped at %d/%d shards; journal is resumable\n",
+			*id, final.Done, final.Shards)
+	}
+	return nil
+}
+
+func cmdFabricWork(args []string) error {
+	fs := flag.NewFlagSet("fabric work", flag.ContinueOnError)
+	id := fs.String("dataset", "", "Table II dataset ID (must match the coordinator's)")
+	coordinator := fs.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:9090")
+	name := fs.String("name", "", "worker name in leases and logs (default worker-<pid>)")
+	poll := fs.Duration("poll", 200*time.Millisecond, "idle wait between lease attempts")
+	opts, tel := commonOpts(fs)
+	fs.DurationVar(&opts.RunTimeout, "timeout", 0, "per-run watchdog; hung runs are retried then skipped (0 = none)")
+	fs.IntVar(&opts.MaxRetries, "max-retries", 2, "extra attempts for a hung or crashed-engine run before skipping the cell")
+	if err := parseArgs(fs, args, opts, tel); err != nil {
+		return err
+	}
+	defer tel.finish()
+	if *id == "" {
+		return fmt.Errorf("fabric work needs -dataset ID")
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("fabric work needs -coordinator URL")
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	// Workers never touch a journal: checkpoint lines stream to the
+	// coordinator, which owns the only journal directory.
+	opts.Journal = ""
+	target, spec, err := core.SpecFor(*id, *opts)
+	if err != nil {
+		return err
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	w, err := fabric.NewWorker(ctx, target, spec, opts.CampaignConfig(*id), fabric.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Poll:        *poll,
+		Logf:        stderrLogf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fabric work %s: %s executing for %s\n", *id, *name, *coordinator)
+	if err := w.Run(ctx); err != nil {
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			fmt.Printf("fabric work %s: interrupted; leased shards will expire and re-lease\n", *id)
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("fabric work %s: campaign complete\n", *id)
+	return nil
+}
+
+func stderrLogf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 func cmdTables(args []string) error {
@@ -488,13 +643,19 @@ func cmdInject(args []string) error {
 	}
 	defer tel.finish()
 	ctx := context.Background()
-	camp, err := core.Campaign(ctx, *id, *opts)
+	// CampaignResult (not Campaign) keeps the engine accounting, so the
+	// plan hash and shard counts print even when the journal restored
+	// everything and nothing ran.
+	res, err := core.CampaignResult(ctx, *id, *opts)
 	if err != nil {
 		return err
 	}
+	camp := res.Campaign
 	fmt.Printf("campaign %s: %d injected runs, %d usable, %d failures\n",
 		*id, len(camp.Records), camp.Usable(), camp.Failures())
 	if *showStats {
+		fmt.Printf("  plan %.12s: %d shards, %d run, %d restored\n",
+			res.PlanHash, res.Shards, res.ShardsRun, res.ShardsRestored)
 		fmt.Print(propane.FormatStats(propane.Summarize(camp)))
 	}
 	if *logPath != "" {

@@ -30,6 +30,7 @@ import (
 	"edem/internal/campaign"
 	"edem/internal/core"
 	"edem/internal/dataset"
+	"edem/internal/fabric"
 	"edem/internal/mining"
 	"edem/internal/mining/eval"
 	"edem/internal/mining/rules"
@@ -145,6 +146,46 @@ type (
 // are bit-identical to an uninterrupted RunCampaign of the same spec.
 func RunResumableCampaign(ctx context.Context, target Target, spec Spec, cfg CampaignConfig) (*CampaignOutcome, error) {
 	return campaign.Run(ctx, target, spec, cfg)
+}
+
+// Campaign fabric types. The fabric distributes one campaign across
+// machines: a coordinator owns the plan and journal and arbitrates
+// time-bounded shard leases (with heartbeat renewal and work-stealing
+// of stragglers); workers execute leased shards with the ordinary
+// campaign engine and stream checkpoint lines back; the coordinator
+// merges first-wins into a journal byte-identical to a local run's.
+// See internal/fabric for the protocol and the lease state machine.
+type (
+	// FabricCoordinator owns a distributed campaign's plan and journal.
+	FabricCoordinator = fabric.Coordinator
+	// FabricCoordinatorConfig tunes lease TTL, per-shard steal fan-out
+	// and drain behaviour.
+	FabricCoordinatorConfig = fabric.CoordinatorConfig
+	// FabricWorker leases and executes shards for a coordinator.
+	FabricWorker = fabric.Worker
+	// FabricWorkerConfig points a worker at its coordinator.
+	FabricWorkerConfig = fabric.WorkerConfig
+	// CampaignExecutor runs individual plan shards outside the
+	// whole-campaign loop (the fabric worker's engine).
+	CampaignExecutor = campaign.Executor
+	// CampaignLedger merges checkpoint lines first-wins into a journal
+	// (the fabric coordinator's authority).
+	CampaignLedger = campaign.Ledger
+)
+
+// NewFabricCoordinator opens (or resumes) the journal for (target,
+// spec) — ccfg.Journal must be set — and returns the coordinator ready
+// to ListenAndServe. With ccfg.Incremental, a spec change invalidates
+// only the shards whose test-case sections changed.
+func NewFabricCoordinator(target Target, spec Spec, ccfg CampaignConfig, cfg FabricCoordinatorConfig) (*FabricCoordinator, error) {
+	return fabric.NewCoordinator(target, spec, ccfg, cfg)
+}
+
+// NewFabricWorker verifies the local plan against the coordinator's
+// and returns a worker ready to Run. The worker never touches disk:
+// completed shards stream to the coordinator.
+func NewFabricWorker(ctx context.Context, target Target, spec Spec, ccfg CampaignConfig, cfg FabricWorkerConfig) (*FabricWorker, error) {
+	return fabric.NewWorker(ctx, target, spec, ccfg, cfg)
 }
 
 // SetWorkerBudget sets the process-wide worker budget shared by every

@@ -54,6 +54,16 @@ type Config struct {
 	// append to a journal the caller did not know about prevents
 	// accidentally mixing campaigns.
 	Resume bool
+	// Incremental relaxes the resume plan-identity check to a
+	// per-section diff: when the journal's manifest records a different
+	// plan hash, shards whose sections (test-case content sub-hashes and
+	// job ranges) are unchanged are kept, everything else is invalidated
+	// and re-run, and the journal is rewritten under the new plan —
+	// instead of refusing the whole journal with ErrPlanMismatch.
+	// Implies nothing when the hashes already match (a normal resume),
+	// except that stray checkpoint lines of superseded plans are dropped
+	// rather than treated as cross-wiring. Requires Resume.
+	Incremental bool
 	// Shards is the number of checkpoint shards; <= 0 auto-sizes to
 	// ~256 jobs per shard. On resume the manifest's shard count wins,
 	// so a resumed campaign may ignore this field.
@@ -120,6 +130,15 @@ type Result struct {
 	ShardsRestored, ShardsRun int
 	// Retries counts failed attempts that were retried.
 	Retries int
+	// TornTails counts truncated trailing journal lines (the torn tail
+	// of a killed append) that were recovered — i.e. discarded, their
+	// shards re-run — on resume.
+	TornTails int
+	// ShardsInvalidated and ShardsReused report the incremental-resume
+	// diff: journaled shards dropped because a section sub-hash changed,
+	// and journaled shards carried over to the new plan. Both zero
+	// outside Config.Incremental.
+	ShardsInvalidated, ShardsReused int
 	// Skipped lists the cells the engine gave up on, in job order.
 	Skipped []SkippedCell
 	// Fork aggregates fast-path statistics over the whole campaign:
@@ -144,10 +163,11 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 	ctx, span := telemetry.StartSpan(ctx, "campaign")
 	defer span.End()
 
-	plan, restored, jnl, err := preparePlan(target, spec, cfg)
+	prep, err := preparePlan(target, spec, cfg)
 	if err != nil {
 		return nil, err
 	}
+	plan, restored, jnl := prep.plan, prep.restored, prep.jnl
 	if jnl != nil {
 		defer jnl.close()
 	}
@@ -211,11 +231,25 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 		skipped = append(skipped, fresh...)
 	}
 
+	// A fully checkpointed journal seals into its canonical form: one
+	// line per shard in shard order, duplicates and torn tails dropped.
+	// Sealed journals are byte-identical across execution paths (local,
+	// resumed, fabric), which is what the cross-machine bit-identity
+	// guarantee is pinned against.
+	if jnl != nil {
+		if err := sealJournal(cfg.Journal, plan.Hash, plan.Shards); err != nil {
+			return nil, fmt.Errorf("campaign: seal journal: %w", err)
+		}
+	}
+
 	sortSkipped(skipped)
 	e.reg.Counter("campaign.shards_restored").Add(int64(len(restored)))
 	e.reg.Counter("campaign.shards_run").Add(e.shardsRun.Load())
 	e.reg.Counter("campaign.retries").Add(e.retries.Load())
 	e.reg.Counter("campaign.cells_skipped").Add(int64(len(skipped)))
+	e.reg.Counter("campaign.torn_tails").Add(int64(prep.torn))
+	e.reg.Counter("campaign.shards_invalidated").Add(int64(prep.invalidated))
+	e.reg.Counter("campaign.shards_reused").Add(int64(prep.reused))
 	if e.fork != nil {
 		// Telemetry reports this invocation's fast-path events; the
 		// Result's Fork field aggregates the whole campaign including
@@ -234,63 +268,108 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 		varNames[i] = v.Name
 	}
 	return &Result{
-		Campaign:       propane.NewCampaign(spec, plan.Target, varNames, records, e.goldens),
-		PlanHash:       plan.Hash,
-		Shards:         plan.Shards,
-		ShardsRestored: len(restored),
-		ShardsRun:      int(e.shardsRun.Load()),
-		Retries:        int(e.retries.Load()),
-		Skipped:        skipped,
-		Fork:           forkTotals,
+		Campaign:          propane.NewCampaign(spec, plan.Target, varNames, records, e.goldens),
+		PlanHash:          plan.Hash,
+		Shards:            plan.Shards,
+		ShardsRestored:    len(restored),
+		ShardsRun:         int(e.shardsRun.Load()),
+		Retries:           int(e.retries.Load()),
+		TornTails:         prep.torn,
+		ShardsInvalidated: prep.invalidated,
+		ShardsReused:      prep.reused,
+		Skipped:           skipped,
+		Fork:              forkTotals,
 	}, nil
+}
+
+// prepState is what preparePlan hands to Run: the resolved plan, the
+// shards restored from the journal, the open journal (nil when
+// journaling is off), and the resume bookkeeping that feeds telemetry
+// and the Result.
+type prepState struct {
+	plan     *Plan
+	restored map[int]checkpoint
+	jnl      *journal
+	// torn counts truncated trailing lines discarded on resume;
+	// invalidated and reused count the incremental diff (journaled
+	// shards dropped vs carried over).
+	torn, invalidated, reused int
 }
 
 // preparePlan builds the plan and reconciles it with any existing
 // journal: a fresh directory gets a manifest, an existing one is
 // validated (hash match, Resume set) and its completed shards are
-// loaded. With no journal configured it returns a bare plan.
-func preparePlan(target propane.Target, spec propane.Spec, cfg Config) (*Plan, map[int]checkpoint, *journal, error) {
+// loaded. Under Config.Incremental a hash mismatch triggers the
+// per-section diff (see reconcileIncremental) instead of failing.
+// With no journal configured it returns a bare plan.
+func preparePlan(target propane.Target, spec propane.Spec, cfg Config) (*prepState, error) {
+	if cfg.Incremental && !cfg.Resume {
+		return nil, fmt.Errorf("campaign: Incremental requires Resume")
+	}
 	if cfg.Journal == "" {
 		plan, err := NewPlan(target, spec, cfg.Shards)
-		return plan, map[int]checkpoint{}, nil, err
+		if err != nil {
+			return nil, err
+		}
+		return &prepState{plan: plan, restored: map[int]checkpoint{}}, nil
 	}
 	m, exists, err := readManifest(cfg.Journal)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if !exists {
 		plan, err := NewPlan(target, spec, cfg.Shards)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		jnl, err := createJournal(cfg.Journal, plan)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
-		return plan, map[int]checkpoint{}, jnl, nil
+		return &prepState{plan: plan, restored: map[int]checkpoint{}, jnl: jnl}, nil
 	}
 	if !cfg.Resume {
-		return nil, nil, nil, fmt.Errorf("%w: %s", ErrJournalExists, cfg.Journal)
+		return nil, fmt.Errorf("%w: %s", ErrJournalExists, cfg.Journal)
 	}
 	// The manifest's shard count wins over cfg.Shards: shard boundaries
 	// are part of the plan identity, and the journal was cut with these.
 	plan, err := NewPlan(target, spec, m.Shards)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	if m.Plan != plan.Hash {
-		return nil, nil, nil, fmt.Errorf("%w: journal %s has plan %.12s, current spec yields %.12s",
-			ErrPlanMismatch, cfg.Journal, m.Plan, plan.Hash)
+		if !cfg.Incremental {
+			return nil, fmt.Errorf("%w: journal %s has plan %.12s, current spec yields %.12s",
+				ErrPlanMismatch, cfg.Journal, m.Plan, plan.Hash)
+		}
+		return prepareIncremental(target, spec, cfg, m)
 	}
-	restored, _, err := readCheckpoints(cfg.Journal, plan.Hash)
+	// On the hash-match path, Incremental additionally tolerates (and
+	// purges) stray lines of superseded plans: a kill between the
+	// manifest and checkpoint rewrites of an incremental upgrade leaves
+	// the new manifest over the old plan's lines.
+	restored, torn, foreign, err := readCheckpoints(cfg.Journal, plan.Hash, cfg.Incremental)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
+	}
+	// A torn tail must be compacted away before reopening for append:
+	// the log ends mid-line, and appending after it would fuse the next
+	// checkpoint onto the torn fragment, losing both.
+	if foreign > 0 || torn > 0 {
+		if err := writeCheckpointLog(cfg.Journal, restored); err != nil {
+			return nil, err
+		}
 	}
 	jnl, err := openJournal(cfg.Journal)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
-	return plan, restored, jnl, nil
+	st := &prepState{plan: plan, restored: restored, jnl: jnl, torn: torn}
+	if cfg.Incremental {
+		st.invalidated = foreign
+		st.reused = len(restored)
+	}
+	return st, nil
 }
 
 // engine carries the shared state of one Run invocation.
@@ -356,25 +435,9 @@ func (e *engine) runShards(ctx context.Context, pending []int, records []propane
 	var skipped []SkippedCell
 	err := parallel.ForEach(ctx, len(pending), e.plan.Spec.Workers, func(k int) error {
 		shard := pending[k]
-		lo, hi := e.plan.ShardRange(shard)
-		cp := checkpoint{Plan: e.plan.Hash, Shard: shard, Records: make([]recordJSON, 0, hi-lo)}
-		var fs forkShardStats
-		for idx := lo; idx < hi; idx++ {
-			rec, oc, skip, err := e.runCell(ctx, idx)
-			if err != nil {
-				return err
-			}
-			if e.fork != nil {
-				fs.observe(oc)
-			}
-			records[idx] = rec
-			cp.Records = append(cp.Records, encodeRecord(rec))
-			if skip != nil {
-				cp.Skipped = append(cp.Skipped, *skip)
-			}
-		}
-		if e.fork != nil {
-			cp.Fork = &fs
+		cp, err := e.runShard(ctx, shard, records)
+		if err != nil {
+			return err
 		}
 		if e.jnl != nil {
 			if err := e.jnl.append(cp); err != nil {
@@ -399,6 +462,35 @@ func (e *engine) runShards(ctx context.Context, pending []int, records []propane
 		return nil, fmt.Errorf("campaign: interrupted (journal is resumable): %w", err)
 	}
 	return skipped, nil
+}
+
+// runShard executes every cell of one shard serially and returns its
+// checkpoint. When records is non-nil the assembled records are also
+// written into their plan positions. Goldens must be prepared first.
+func (e *engine) runShard(ctx context.Context, shard int, records []propane.Record) (checkpoint, error) {
+	lo, hi := e.plan.ShardRange(shard)
+	cp := checkpoint{Plan: e.plan.Hash, Shard: shard, Records: make([]recordJSON, 0, hi-lo)}
+	var fs forkShardStats
+	for idx := lo; idx < hi; idx++ {
+		rec, oc, skip, err := e.runCell(ctx, idx)
+		if err != nil {
+			return checkpoint{}, err
+		}
+		if e.fork != nil {
+			fs.observe(oc)
+		}
+		if records != nil {
+			records[idx] = rec
+		}
+		cp.Records = append(cp.Records, encodeRecord(rec))
+		if skip != nil {
+			cp.Skipped = append(cp.Skipped, *skip)
+		}
+	}
+	if e.fork != nil {
+		cp.Fork = &fs
+	}
+	return cp, nil
 }
 
 // cellResult pairs a cell's record with how it was resolved, so the

@@ -257,6 +257,9 @@ func TestResumeToleratesTornTail(t *testing.T) {
 	if res.ShardsRestored != 4 || res.ShardsRun != 1 {
 		t.Errorf("torn resume: restored=%d run=%d, want 4/1", res.ShardsRestored, res.ShardsRun)
 	}
+	if res.TornTails != 1 {
+		t.Errorf("torn resume: TornTails=%d, want 1", res.TornTails)
+	}
 	ref, err := propane.Run(context.Background(), newFakeTarget(), spec)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,152 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edem/internal/campaign"
+	"edem/internal/propane"
+)
+
+// mutableTarget is fakeTarget with a per-test-case seed bump, so a test
+// can change the content hash of one section without touching the rest
+// of the suite — the "someone edited test case N" scenario incremental
+// resume exists for.
+type mutableTarget struct {
+	*fakeTarget
+	bump map[int]uint64
+}
+
+func (m *mutableTarget) TestCases(n int, seed uint64) []propane.TestCase {
+	tcs := m.fakeTarget.TestCases(n, seed)
+	for i := range tcs {
+		tcs[i].Seed += m.bump[i]
+	}
+	return tcs
+}
+
+// TestIncrementalInvalidatesOnlyChangedSections mutates one test case
+// of a four-case spec and checks that an incremental resume re-runs
+// exactly the shard owning that section, reuses the rest, and seals a
+// journal byte-identical to a from-scratch run of the mutated spec.
+func TestIncrementalInvalidatesOnlyChangedSections(t *testing.T) {
+	spec := fakeSpec(4) // 4 sections of 65 jobs; Shards: 4 aligns shard i == section i
+	dir := filepath.Join(t.TempDir(), "journal")
+	if _, err := campaign.Run(context.Background(), &mutableTarget{newFakeTarget(), nil}, spec,
+		campaign.Config{Journal: dir, Shards: 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Edit test case 2. A plain resume must refuse the journal; an
+	// incremental resume must re-run only its shard.
+	bump := map[int]uint64{2: 1000}
+	if _, err := campaign.Run(context.Background(), &mutableTarget{newFakeTarget(), bump}, spec,
+		campaign.Config{Journal: dir, Resume: true}); !errors.Is(err, campaign.ErrPlanMismatch) {
+		t.Fatalf("plain resume after edit: err=%v, want ErrPlanMismatch", err)
+	}
+	res, err := campaign.Run(context.Background(), &mutableTarget{newFakeTarget(), bump}, spec,
+		campaign.Config{Journal: dir, Resume: true, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsInvalidated != 1 || res.ShardsReused != 3 {
+		t.Errorf("incremental: invalidated=%d reused=%d, want 1/3", res.ShardsInvalidated, res.ShardsReused)
+	}
+	if res.ShardsRestored != 3 || res.ShardsRun != 1 {
+		t.Errorf("incremental: restored=%d run=%d, want 3/1", res.ShardsRestored, res.ShardsRun)
+	}
+
+	// The healed journal must be indistinguishable from never having
+	// journaled the old plan at all.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	ref, err := campaign.Run(context.Background(), &mutableTarget{newFakeTarget(), bump}, spec,
+		campaign.Config{Journal: refDir, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, res.Campaign, ref.Campaign)
+	got := readFileT(t, filepath.Join(dir, "checkpoints.jsonl"))
+	want := readFileT(t, filepath.Join(refDir, "checkpoints.jsonl"))
+	if !bytes.Equal(got, want) {
+		t.Errorf("incremental journal differs from fresh journal (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestIncrementalSurvivesShardMisalignment covers sections that do not
+// line up one-to-one with shards: 2 shards over 4 sections means the
+// edited section invalidates only the shard overlapping it.
+func TestIncrementalSurvivesShardMisalignment(t *testing.T) {
+	spec := fakeSpec(4)
+	dir := filepath.Join(t.TempDir(), "journal")
+	if _, err := campaign.Run(context.Background(), &mutableTarget{newFakeTarget(), nil}, spec,
+		campaign.Config{Journal: dir, Shards: 2}); err != nil { // shard 0 = sections 0-1, shard 1 = 2-3
+		t.Fatal(err)
+	}
+	res, err := campaign.Run(context.Background(), &mutableTarget{newFakeTarget(), map[int]uint64{3: 7}}, spec,
+		campaign.Config{Journal: dir, Resume: true, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsInvalidated != 1 || res.ShardsReused != 1 {
+		t.Errorf("misaligned incremental: invalidated=%d reused=%d, want 1/1", res.ShardsInvalidated, res.ShardsReused)
+	}
+	ref, err := propane.Run(context.Background(), &mutableTarget{newFakeTarget(), map[int]uint64{3: 7}}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, res.Campaign, ref)
+}
+
+// TestIncrementalReusesOnSuiteGrowth grows the test suite (2 → 3 test
+// cases) without editing the existing cases: section hashes exclude
+// the suite size, so the old sections stay valid and — as long as the
+// old shard size divides the new job count, here because shards align
+// with sections — their shards are reused verbatim; only the new
+// section's shard runs.
+func TestIncrementalReusesOnSuiteGrowth(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	if _, err := campaign.Run(context.Background(), newFakeTarget(), fakeSpec(2),
+		campaign.Config{Journal: dir, Shards: 2}); err != nil {
+		t.Fatal(err)
+	}
+	grown := fakeSpec(3)
+	res, err := campaign.Run(context.Background(), newFakeTarget(), grown,
+		campaign.Config{Journal: dir, Resume: true, Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardsReused != 2 || res.ShardsInvalidated != 0 {
+		t.Errorf("growth: reused=%d invalidated=%d, want 2/0", res.ShardsReused, res.ShardsInvalidated)
+	}
+	if res.ShardsRestored != 2 || res.ShardsRun != 1 {
+		t.Errorf("growth: restored=%d run=%d, want 2/1", res.ShardsRestored, res.ShardsRun)
+	}
+	ref, err := propane.Run(context.Background(), newFakeTarget(), grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameCampaign(t, res.Campaign, ref)
+}
+
+// TestIncrementalRequiresResume pins the flag dependency.
+func TestIncrementalRequiresResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "journal")
+	_, err := campaign.Run(context.Background(), newFakeTarget(), fakeSpec(2),
+		campaign.Config{Journal: dir, Incremental: true})
+	if err == nil {
+		t.Fatal("Incremental without Resume: want error, got nil")
+	}
+}
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

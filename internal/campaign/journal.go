@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -45,20 +46,32 @@ var ErrPlanMismatch = errors.New("campaign: journal belongs to a different plan"
 
 // manifest is the on-disk description of a plan.
 type manifest struct {
-	Version int           `json:"version"`
-	Plan    string        `json:"plan"`
-	Dataset string        `json:"dataset"`
-	Target  string        `json:"target"`
-	Module  string        `json:"module"`
-	Vars    []manifestVar `json:"vars"`
-	Jobs    int           `json:"jobs"`
-	Shards  int           `json:"shards"`
-	Spec    manifestSpec  `json:"spec"`
+	Version  int               `json:"version"`
+	Plan     string            `json:"plan"`
+	Dataset  string            `json:"dataset"`
+	Target   string            `json:"target"`
+	Module   string            `json:"module"`
+	Vars     []manifestVar     `json:"vars"`
+	Jobs     int               `json:"jobs"`
+	Shards   int               `json:"shards"`
+	Spec     manifestSpec      `json:"spec"`
+	Sections []manifestSection `json:"sections,omitempty"`
 }
 
 type manifestVar struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
+}
+
+// manifestSection records one plan section's job range and content
+// sub-hash — the inputs of incremental invalidation: a journaled shard
+// survives a spec change exactly when every section it overlaps kept
+// the same (lo, hi, hash) triple.
+type manifestSection struct {
+	TC   int    `json:"tc"`
+	Lo   int    `json:"lo"`
+	Hi   int    `json:"hi"`
+	Hash string `json:"hash"`
 }
 
 // manifestSpec records the result-determining spec fields for human
@@ -79,6 +92,10 @@ func newManifest(p *Plan) manifest {
 	for i, v := range p.Module.Vars {
 		vars[i] = manifestVar{Name: v.Name, Kind: v.Kind.String()}
 	}
+	sections := make([]manifestSection, len(p.Sections))
+	for i, s := range p.Sections {
+		sections[i] = manifestSection{TC: s.TC, Lo: s.Lo, Hi: s.Hi, Hash: s.Hash}
+	}
 	return manifest{
 		Version: planVersion,
 		Plan:    p.Hash,
@@ -96,6 +113,7 @@ func newManifest(p *Plan) manifest {
 			Seed:      p.Spec.Seed,
 			BitStride: p.Spec.BitStride,
 		},
+		Sections: sections,
 	}
 }
 
@@ -222,18 +240,24 @@ func createJournal(dir string, p *Plan) (*journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	data, err := json.MarshalIndent(newManifest(p), "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return nil, err
-	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := writeManifest(dir, newManifest(p)); err != nil {
 		return nil, err
 	}
 	return openCheckpointLog(dir)
+}
+
+// writeManifest stages the manifest to a temp file and renames it into
+// place (atomic on POSIX rename semantics).
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, manifestName))
 }
 
 // openJournal opens an existing journal for appending, after the
@@ -250,17 +274,39 @@ func openCheckpointLog(dir string) (*journal, error) {
 	return &journal{dir: dir, f: f}, nil
 }
 
+// encodeCheckpointLine renders one checkpoint as its canonical
+// newline-terminated journal line. Every journal writer — the local
+// engine, the fabric worker and the coordinator merge — goes through
+// this one encoder, which is what makes a shard's bytes identical
+// whichever machine executed it.
+func encodeCheckpointLine(cp checkpoint) ([]byte, error) {
+	data, err := json.Marshal(cp)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // append writes one checkpoint line and fsyncs it, so a completed
 // shard survives any subsequent kill.
 func (j *journal) append(cp checkpoint) error {
-	data, err := json.Marshal(cp)
+	data, err := encodeCheckpointLine(cp)
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
+	return j.appendRaw(data)
+}
+
+// appendRaw writes one pre-encoded, pre-validated checkpoint line and
+// fsyncs it. The coordinator merge path uses it to persist worker lines
+// byte-for-byte as they arrived.
+func (j *journal) appendRaw(line []byte) error {
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		line = append(append([]byte(nil), line...), '\n')
+	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, err := j.f.Write(data); err != nil {
+	if _, err := j.f.Write(line); err != nil {
 		return err
 	}
 	return j.f.Sync()
@@ -295,19 +341,22 @@ func readManifest(dir string) (manifest, bool, error) {
 // torn tail of a killed append) are counted and skipped; duplicate
 // shards keep the first occurrence (shards are deterministic, so
 // duplicates are identical by construction). Lines recording a
-// different plan hash are an error: the journal was cross-wired.
-func readCheckpoints(dir, planHash string) (map[int]checkpoint, int, error) {
+// different plan hash are an error by default — the journal was
+// cross-wired — unless dropForeign is set, in which case they are
+// counted and skipped: incremental resume legitimately leaves
+// superseded-plan lines behind when a kill lands between the manifest
+// and checkpoint rewrites of a journal upgrade.
+func readCheckpoints(dir, planHash string, dropForeign bool) (done map[int]checkpoint, torn, foreign int, err error) {
 	f, err := os.Open(filepath.Join(dir, checkpointsName))
 	if errors.Is(err, os.ErrNotExist) {
-		return map[int]checkpoint{}, 0, nil
+		return map[int]checkpoint{}, 0, 0, nil
 	}
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer f.Close()
 
-	done := make(map[int]checkpoint)
-	torn := 0
+	done = make(map[int]checkpoint)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
 	for sc.Scan() {
@@ -321,7 +370,11 @@ func readCheckpoints(dir, planHash string) (map[int]checkpoint, int, error) {
 			continue
 		}
 		if cp.Plan != planHash {
-			return nil, 0, fmt.Errorf("%w: checkpoint for plan %.12s in journal for plan %.12s",
+			if dropForeign {
+				foreign++
+				continue
+			}
+			return nil, 0, 0, fmt.Errorf("%w: checkpoint for plan %.12s in journal for plan %.12s",
 				ErrPlanMismatch, cp.Plan, planHash)
 		}
 		if _, ok := done[cp.Shard]; !ok {
@@ -329,7 +382,99 @@ func readCheckpoints(dir, planHash string) (map[int]checkpoint, int, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
-	return done, torn, nil
+	return done, torn, foreign, nil
+}
+
+// writeCheckpointLog stages a full checkpoint log (tmp + rename +
+// fsync) holding exactly the given shards in ascending shard order.
+func writeCheckpointLog(dir string, cps map[int]checkpoint) error {
+	shards := make([]int, 0, len(cps))
+	for s := range cps {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	var buf []byte
+	for _, s := range shards {
+		line, err := encodeCheckpointLine(cps[s])
+		if err != nil {
+			return err
+		}
+		buf = append(buf, line...)
+	}
+	tmp := filepath.Join(dir, checkpointsName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, checkpointsName))
+}
+
+// sealJournal compacts a completed journal into its canonical form:
+// one checkpoint line per shard, in ascending shard order, duplicates
+// (work-stealing races) and torn tails dropped. Sealing is what makes
+// completed journals comparable byte-for-byte across execution paths —
+// a local run, a resumed run and a multi-worker fabric run of the same
+// plan all seal to identical bytes. A journal already in canonical
+// form is left untouched.
+func sealJournal(dir, planHash string, shards int) error {
+	cps, torn, _, err := readCheckpoints(dir, planHash, false)
+	if err != nil {
+		return err
+	}
+	if len(cps) != shards {
+		return fmt.Errorf("campaign: seal: journal has %d of %d shards", len(cps), shards)
+	}
+	if torn == 0 {
+		canonical, err := isCanonicalLog(dir, shards)
+		if err != nil {
+			return err
+		}
+		if canonical {
+			return nil
+		}
+	}
+	return writeCheckpointLog(dir, cps)
+}
+
+// isCanonicalLog reports whether the checkpoint log already holds
+// exactly one line per shard in ascending order (so sealing can skip
+// the rewrite — the common case for an uninterrupted local run).
+func isCanonicalLog(dir string, shards int) (bool, error) {
+	f, err := os.Open(filepath.Join(dir, checkpointsName))
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	next := 0
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var cp struct {
+			Shard int `json:"shard"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &cp); err != nil || cp.Shard != next {
+			return false, nil
+		}
+		next++
+	}
+	if err := sc.Err(); err != nil {
+		return false, err
+	}
+	return next == shards, nil
 }

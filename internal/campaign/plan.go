@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
+	"sort"
 	"strings"
 
 	"edem/internal/propane"
@@ -16,23 +18,52 @@ import (
 // Two plans with the same hash enumerate byte-for-byte the same work in
 // the same order, so a journal written under one can be resumed under
 // the other. The hash covers everything that determines the records —
-// target identity, module interface, spec parameters, job count and
-// shard boundaries — and deliberately excludes execution knobs that do
-// not (worker budget, timeouts, retry policy).
+// target identity, module interface, spec parameters, the generated
+// test-case contents, job count and shard boundaries — and deliberately
+// excludes execution knobs that do not (worker budget, timeouts, retry
+// policy, the fork fast path).
+//
+// The hash is layered: each test case owns one contiguous Section of
+// the enumeration with its own content sub-hash, and the plan hash
+// folds the section sub-hashes in. A spec or target change that alters
+// only some test cases therefore changes only those sections'
+// sub-hashes, which is what lets incremental resume (Config.
+// Incremental) invalidate exactly the affected shards instead of
+// refusing the whole journal.
 type Plan struct {
 	Spec   propane.Spec
 	Target string
 	Module propane.ModuleInfo
 	Jobs   []propane.Job
+	// Sections are the per-test-case slices of the enumeration, in
+	// test-case order; each carries the sub-hash of everything that
+	// determines its records.
+	Sections []Section
 	// Shards is the effective shard count after clamping to [1, len(Jobs)].
 	Shards int
 	// Hash is the hex SHA-256 of the canonical plan description.
 	Hash string
 }
 
+// Section is the contiguous job range [Lo, Hi) of one test case, with
+// the content sub-hash that determines its records: the target and
+// module identity, the result-determining spec parameters, and the
+// generated test case itself (ID, seed and parameters). Two sections
+// with equal (Lo, Hi, Hash) produce byte-for-byte the same records at
+// the same plan positions, whatever else changed around them.
+type Section struct {
+	TC int
+	Lo int
+	Hi int
+	// Hash is the hex SHA-256 section sub-hash.
+	Hash string
+}
+
 // planVersion is bumped whenever the canonical description or the
 // journal schema changes incompatibly, invalidating older journals.
-const planVersion = 1
+// v2 added per-section sub-hashes (and with them test-case contents)
+// to the plan hash.
+const planVersion = 2
 
 // NewPlan resolves spec against target and builds the sharded work
 // plan. shards <= 0 selects a default that keeps shards around
@@ -50,6 +81,10 @@ func NewPlan(target propane.Target, spec propane.Spec, shards int) (*Plan, error
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("campaign: plan for %s has no jobs", spec.Dataset)
 	}
+	tcs := target.TestCases(spec.TestCases, spec.Seed)
+	if len(tcs) < spec.TestCases {
+		return nil, fmt.Errorf("campaign: target generated %d test cases, plan needs %d", len(tcs), spec.TestCases)
+	}
 	if shards <= 0 {
 		shards = (len(jobs) + defaultShardJobs - 1) / defaultShardJobs
 	}
@@ -66,6 +101,7 @@ func NewPlan(target propane.Target, spec propane.Spec, shards int) (*Plan, error
 		Jobs:   jobs,
 		Shards: shards,
 	}
+	p.Sections = p.sections(tcs)
 	p.Hash = p.hash()
 	return p, nil
 }
@@ -74,7 +110,62 @@ func NewPlan(target propane.Target, spec propane.Spec, shards int) (*Plan, error
 // checkpoint.
 const defaultShardJobs = 256
 
-// hash computes the canonical content hash of the plan.
+// sections cuts the canonical enumeration into per-test-case ranges.
+// Spec.Jobs is test-case-major, so each test case owns one contiguous
+// block of len(Jobs)/TestCases jobs.
+func (p *Plan) sections(tcs []propane.TestCase) []Section {
+	per := len(p.Jobs) / p.Spec.TestCases
+	out := make([]Section, p.Spec.TestCases)
+	for tc := range out {
+		out[tc] = Section{
+			TC:   tc,
+			Lo:   tc * per,
+			Hi:   (tc + 1) * per,
+			Hash: p.sectionHash(tcs[tc], per),
+		}
+	}
+	return out
+}
+
+// sectionHash computes one test case's content sub-hash. It covers the
+// target and module identity, every result-determining spec parameter
+// except the test-case count (so growing the suite leaves existing
+// sections valid), and the generated test case itself. The section's
+// position in the enumeration is deliberately excluded: it is compared
+// structurally during incremental reconciliation, not hashed.
+func (p *Plan) sectionHash(tc propane.TestCase, jobs int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "edem-campaign-section v%d\n", planVersion)
+	fmt.Fprintf(&b, "target %q\n", p.Target)
+	fmt.Fprintf(&b, "module %q\n", p.Module.Name)
+	for _, v := range p.Module.Vars {
+		fmt.Fprintf(&b, "var %q %s\n", v.Name, v.Kind)
+	}
+	s := &p.Spec
+	fmt.Fprintf(&b, "dataset %q\n", s.Dataset)
+	fmt.Fprintf(&b, "inject %d sample %d\n", s.InjectAt, s.SampleAt)
+	fmt.Fprintf(&b, "times %v\n", s.InjectionTimes)
+	fmt.Fprintf(&b, "stride %d\n", s.BitStride)
+	fmt.Fprintf(&b, "tc %d seed %d\n", tc.ID, tc.Seed)
+	if len(tc.Params) > 0 {
+		keys := make([]string, 0, len(tc.Params))
+		for k := range tc.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			// Bit patterns, not decimal formatting: params must hash
+			// exactly, the same way states journal exactly.
+			fmt.Fprintf(&b, "param %q %016x\n", k, math.Float64bits(tc.Params[k]))
+		}
+	}
+	fmt.Fprintf(&b, "jobs %d\n", jobs)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// hash computes the canonical content hash of the plan by folding the
+// global parameters and every section sub-hash.
 func (p *Plan) hash() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "edem-campaign-plan v%d\n", planVersion)
@@ -89,6 +180,9 @@ func (p *Plan) hash() string {
 	fmt.Fprintf(&b, "times %v\n", s.InjectionTimes)
 	fmt.Fprintf(&b, "testcases %d seed %d stride %d\n", s.TestCases, s.Seed, s.BitStride)
 	fmt.Fprintf(&b, "jobs %d shards %d\n", len(p.Jobs), p.Shards)
+	for _, sec := range p.Sections {
+		fmt.Fprintf(&b, "section %d [%d,%d) %s\n", sec.TC, sec.Lo, sec.Hi, sec.Hash)
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }
@@ -97,11 +191,18 @@ func (p *Plan) hash() string {
 // Shards are contiguous blocks of the canonical enumeration, so
 // restoring shard i is a straight copy into the records array.
 func (p *Plan) ShardRange(i int) (lo, hi int) {
-	size := (len(p.Jobs) + p.Shards - 1) / p.Shards
+	return shardRange(len(p.Jobs), p.Shards, i)
+}
+
+// shardRange is ShardRange over explicit (jobs, shards) dimensions, so
+// incremental reconciliation can compute the boundaries of a journaled
+// plan it only knows from a manifest.
+func shardRange(jobs, shards, i int) (lo, hi int) {
+	size := (jobs + shards - 1) / shards
 	lo = i * size
 	hi = lo + size
-	if hi > len(p.Jobs) {
-		hi = len(p.Jobs)
+	if hi > jobs {
+		hi = jobs
 	}
 	if lo > hi {
 		lo = hi

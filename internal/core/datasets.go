@@ -70,6 +70,11 @@ type Options struct {
 	// table/dataset consumers set it implicitly, `edem campaign`
 	// requires the explicit -resume flag.
 	Resume bool
+	// Incremental relaxes the resume plan-identity check to a
+	// per-section diff: after a spec or target change, only shards
+	// whose test-case sections changed re-run (campaign.Config.
+	// Incremental). Requires Resume.
+	Incremental bool
 	// Shards overrides the engine's checkpoint shard count (0 = auto).
 	Shards int
 	// RunTimeout bounds one target run attempt (0 = no watchdog).
@@ -95,6 +100,7 @@ func (o Options) CampaignConfig(id string) campaign.Config {
 	if o.Journal != "" {
 		cfg.Journal = filepath.Join(o.Journal, id)
 		cfg.Resume = o.Resume
+		cfg.Incremental = o.Incremental
 	}
 	return cfg
 }

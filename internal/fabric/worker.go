@@ -1,0 +1,315 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"edem/internal/campaign"
+	"edem/internal/propane"
+	"edem/internal/serve"
+	"edem/internal/telemetry"
+)
+
+// WorkerConfig tunes one fabric worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g.
+	// "http://127.0.0.1:9090".
+	Coordinator string
+	// Name identifies this worker in leases and logs (default
+	// "worker").
+	Name string
+	// Poll is the idle wait between lease attempts when nothing is
+	// leasable (default 200ms).
+	Poll time.Duration
+	// Retry is the shared backoff policy for every coordinator call.
+	Retry serve.Backoff
+	// HTTP is the underlying client; nil uses http.DefaultClient.
+	HTTP *http.Client
+	// Registry receives the fabric.worker_* metrics; nil falls back to
+	// the process default registry.
+	Registry *telemetry.Registry
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.Name == "" {
+		c.Name = "worker"
+	}
+	if c.Poll <= 0 {
+		c.Poll = 200 * time.Millisecond
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.Default()
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Worker executes leased shards against a coordinator. Create with
+// NewWorker (which prepares the campaign executor — goldens and all —
+// and verifies the plan identity against the coordinator), run with
+// Run.
+type Worker struct {
+	cfg WorkerConfig
+	x   *campaign.Executor
+
+	mShards    *telemetry.Counter
+	mStolen    *telemetry.Counter
+	mAbandoned *telemetry.Counter
+	mDupes     *telemetry.Counter
+}
+
+// NewWorker fetches the coordinator's plan, builds the local executor
+// with the coordinator's shard count, and refuses to start when the
+// plan hashes disagree — a worker with a different target build, spec
+// or test-case generator would otherwise poison the journal.
+func NewWorker(ctx context.Context, target propane.Target, spec propane.Spec, ccfg campaign.Config, cfg WorkerConfig) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	w := &Worker{cfg: cfg}
+	reg := cfg.Registry
+	w.mShards = reg.Counter("fabric.worker_shards")
+	w.mStolen = reg.Counter("fabric.worker_steals")
+	w.mAbandoned = reg.Counter("fabric.worker_abandoned")
+	w.mDupes = reg.Counter("fabric.worker_duplicates")
+
+	st, err := w.fetchPlan(ctx)
+	if err != nil {
+		return nil, err
+	}
+	x, err := campaign.NewExecutorShards(ctx, target, spec, ccfg, st.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if x.Plan().Hash != st.Plan {
+		return nil, fmt.Errorf("fabric: worker plan %.12s disagrees with coordinator plan %.12s (different target build or spec?)",
+			x.Plan().Hash, st.Plan)
+	}
+	w.x = x
+	return w, nil
+}
+
+// errShardDone aborts a shard whose result is already merged.
+var errShardDone = errors.New("fabric: shard completed elsewhere")
+
+// Run leases, executes and uploads shards until the coordinator
+// reports the campaign complete (returns nil), ctx is cancelled, or
+// the coordinator stays unreachable past the retry budget.
+func (w *Worker) Run(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lr, err := w.lease(ctx)
+		if err != nil {
+			return err
+		}
+		if lr.Complete {
+			w.cfg.Logf("fabric: %s: campaign complete", w.cfg.Name)
+			return nil
+		}
+		if lr.Shard < 0 {
+			select {
+			case <-time.After(w.cfg.Poll):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			continue
+		}
+		if lr.Stolen {
+			w.mStolen.Inc()
+			w.cfg.Logf("fabric: %s: stealing shard %d", w.cfg.Name, lr.Shard)
+		}
+		done, err := w.runLeased(ctx, lr)
+		if err != nil {
+			if errors.Is(err, errShardDone) {
+				w.mAbandoned.Inc()
+				w.cfg.Logf("fabric: %s: abandoning shard %d (completed elsewhere)", w.cfg.Name, lr.Shard)
+				continue
+			}
+			return err
+		}
+		if done {
+			w.cfg.Logf("fabric: %s: campaign complete", w.cfg.Name)
+			return nil
+		}
+	}
+}
+
+// runLeased executes one leased shard under a heartbeat and uploads
+// its checkpoint line. The returned bool reports whether the campaign
+// is now complete.
+func (w *Worker) runLeased(ctx context.Context, lr LeaseResponse) (bool, error) {
+	// The heartbeat renews at a third of the TTL. Losing the lease
+	// (expiry, coordinator restart) does NOT abort the shard — first
+	// completion wins, so finishing is still worthwhile; only a Done
+	// verdict (someone else's completion merged) abandons the work.
+	hctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	ttl := time.Duration(lr.TTLMS) * time.Millisecond
+	if ttl > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(ttl / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					resp, err := w.renew(hctx, lr.Lease)
+					if err == nil && !resp.OK && resp.Done {
+						cancel(errShardDone)
+						return
+					}
+				case <-stop:
+					return
+				case <-hctx.Done():
+					return
+				}
+			}
+		}()
+	}
+
+	line, err := w.x.RunShard(hctx, lr.Shard)
+	if err != nil {
+		if errors.Is(context.Cause(hctx), errShardDone) {
+			return false, errShardDone
+		}
+		return false, err
+	}
+	resp, err := w.complete(ctx, lr.Lease, line)
+	if err != nil {
+		return false, err
+	}
+	w.mShards.Inc()
+	if resp.Duplicate {
+		w.mDupes.Inc()
+	}
+	return resp.Complete, nil
+}
+
+// fetchPlan GETs /fabric/v1/plan with retries.
+func (w *Worker) fetchPlan(ctx context.Context) (PlanStatus, error) {
+	var st PlanStatus
+	err := w.cfg.Retry.Retry(ctx, "fabric: plan", permanentStatus, func() error {
+		return w.getJSON(ctx, "/fabric/v1/plan", &st)
+	})
+	return st, err
+}
+
+func (w *Worker) lease(ctx context.Context) (LeaseResponse, error) {
+	var lr LeaseResponse
+	err := w.cfg.Retry.Retry(ctx, "fabric: lease", permanentStatus, func() error {
+		return w.postJSON(ctx, "/fabric/v1/lease", LeaseRequest{Worker: w.cfg.Name}, &lr)
+	})
+	return lr, err
+}
+
+func (w *Worker) renew(ctx context.Context, lease string) (RenewResponse, error) {
+	var rr RenewResponse
+	// Renewals do not retry: the next tick is another chance, and a
+	// retry storm during a coordinator hiccup helps nobody.
+	err := w.postJSON(ctx, "/fabric/v1/renew", RenewRequest{Lease: lease}, &rr)
+	return rr, err
+}
+
+func (w *Worker) complete(ctx context.Context, lease string, line []byte) (CompleteResponse, error) {
+	frame, err := EncodeCompletion(w.cfg.Name, lease, line)
+	if err != nil {
+		return CompleteResponse{}, err
+	}
+	var cr CompleteResponse
+	err = w.cfg.Retry.Retry(ctx, "fabric: complete", permanentStatus, func() error {
+		return w.postRaw(ctx, "/fabric/v1/complete", frame, &cr)
+	})
+	return cr, err
+}
+
+// permanentStatus mirrors the serve client's classification: 4xx (bad
+// frame, plan mismatch) will not improve with retries; 5xx and
+// transport errors might.
+func permanentStatus(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.code >= 400 && se.code < 500
+}
+
+type statusError struct {
+	code int
+	msg  string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("fabric: coordinator returned %d: %s", e.code, e.msg)
+}
+
+func (w *Worker) httpClient() *http.Client {
+	if w.cfg.HTTP != nil {
+		return w.cfg.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.Coordinator+path, nil)
+	if err != nil {
+		return err
+	}
+	return w.do(req, out)
+}
+
+func (w *Worker) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return w.do(req, out)
+}
+
+func (w *Worker) postRaw(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	return w.do(req, out)
+}
+
+func (w *Worker) do(req *http.Request, out any) error {
+	res, err := w.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := string(data)
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		return &statusError{code: res.StatusCode, msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("fabric: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

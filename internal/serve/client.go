@@ -101,30 +101,16 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) maxRetries() int {
-	if c.MaxRetries < 0 {
-		return 0
-	}
-	if c.MaxRetries == 0 {
-		return 3
-	}
-	return c.MaxRetries
+// policy returns the client's shared Backoff retry policy.
+func (c *Client) policy() Backoff {
+	return Backoff{MaxRetries: c.MaxRetries, Base: c.Backoff, Max: c.MaxBackoff}
 }
 
-func (c *Client) backoff(attempt int) time.Duration {
-	base := c.Backoff
-	if base <= 0 {
-		base = 50 * time.Millisecond
-	}
-	max := c.MaxBackoff
-	if max <= 0 {
-		max = 2 * time.Second
-	}
-	d := base << uint(attempt)
-	if d > max || d <= 0 {
-		d = max
-	}
-	return d
+// permanentStatus classifies errors not worth another attempt: any
+// non-retryable HTTP status (client errors, straight 500s).
+func permanentStatus(err error) bool {
+	var se *StatusError
+	return errors.As(err, &se) && !retryable(se.Code)
 }
 
 // Evaluate posts one batch of samples to the named detector over the
@@ -141,37 +127,19 @@ func (c *Client) Evaluate(ctx context.Context, detector string, samples []Sample
 	if err != nil {
 		return nil, err
 	}
-	var lastErr error
-	for attempt := 0; ; attempt++ {
+	var out *EvalResponse
+	err = c.policy().Retry(ctx, "serve: evaluate", permanentStatus, func() error {
 		resp, err := c.post(ctx, "/v1/evaluate", body)
-		if err == nil {
-			return resp, nil
+		if err != nil {
+			return err
 		}
-		lastErr = err
-		var se *StatusError
-		if errors.As(err, &se) && !retryable(se.Code) {
-			return nil, err
-		}
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("serve: evaluate: %w (last error: %v)", ctx.Err(), lastErr)
-		}
-		if attempt >= c.maxRetries() {
-			return nil, fmt.Errorf("serve: evaluate: %d attempts exhausted: %w", attempt+1, lastErr)
-		}
-		delay := c.backoff(attempt)
-		// Deadline-aware: when the remaining context budget cannot cover
-		// the sleep, give up now instead of sleeping into the deadline.
-		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < delay {
-			return nil, fmt.Errorf("serve: evaluate: deadline too close to retry: %w", lastErr)
-		}
-		t := time.NewTimer(delay)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return nil, fmt.Errorf("serve: evaluate: %w (last error: %v)", ctx.Err(), lastErr)
-		}
+		out = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	return out, nil
 }
 
 // EvaluateChunks re-validates a large batch by splitting it into

@@ -406,32 +406,13 @@ func (s *Server) Handler() http.Handler {
 // stop accepting, let in-flight requests finish (bounded by
 // DrainTimeout), stop the workers. Returns nil on a clean drain.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
-	hs := &http.Server{
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: 5 * time.Second,
-		ReadTimeout:       time.Minute,
-		WriteTimeout:      5 * time.Minute,
-		IdleTimeout:       time.Minute,
-	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- hs.Serve(ln) }()
-	select {
-	case err := <-errCh:
-		s.Close()
-		return err
-	case <-ctx.Done():
-	}
-	s.draining.Store(true)
-	s.cfg.Logf("serve: draining (timeout %v)", s.cfg.DrainTimeout)
-	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
-	defer cancel()
-	err := hs.Shutdown(dctx)
+	err := RunHTTP(ctx, ln, s.Handler(), HTTPConfig{
+		DrainTimeout: s.cfg.DrainTimeout,
+		OnDrain:      func() { s.draining.Store(true) },
+		Logf:         s.cfg.Logf,
+	})
 	s.Close()
-	if err != nil {
-		return fmt.Errorf("serve: drain: %w", err)
-	}
-	s.cfg.Logf("serve: drained cleanly")
-	return nil
+	return err
 }
 
 // ListenAndServe listens on addr and calls Serve. It reports the bound

@@ -13,6 +13,10 @@
 # BENCH_campaign.json covers the resumable campaign engine
 # (BenchmarkCampaign: bare propane reference, engine overhead,
 # journaled checkpointing, and journal replay = resume overhead).
+# BENCH_fabric.json covers the distributed campaign fabric
+# (BenchmarkFabric: one coordinator plus 1/2/4 in-process workers over
+# loopback on a latency-bound synthetic target — the workers=2 over
+# workers=1 runs/s ratio is the scaling figure, target >=1.8x).
 # BENCH_serve.json covers the serving runtime via `edem bench-serve`:
 # latency percentiles, throughput and shed rate for every codec ×
 # evaluation-mode leg (json/binary × interpreted/compiled) against a
@@ -69,6 +73,7 @@ END {
 
 run_suite 'BenchmarkRefineGrid|BenchmarkMicro_C45Induction|BenchmarkMicro_SMOTE|BenchmarkMicro_CrossValidate' "${OUT:-BENCH_refine.json}"
 run_suite 'BenchmarkCampaign/' "${CAMPAIGN_OUT:-BENCH_campaign.json}"
+run_suite 'BenchmarkFabric/' "${FABRIC_OUT:-BENCH_fabric.json}"
 
 # Serving suite: export a real detector bundle, then drive the load
 # harness. SERVE_DURATION tunes the per-leg measurement window.
