@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"edem/internal/lifecycle"
 	"edem/internal/serve"
 	"edem/internal/stats"
 	"edem/internal/telemetry"
@@ -35,6 +36,7 @@ func cmdBenchServe(args []string) error {
 	conns := fs.Int("conns", 8, "concurrent closed-loop client connections")
 	batch := fs.Int("batch", 64, "samples per request")
 	detID := fs.String("detector", "", "detector ID to drive (default: first in the bundle)")
+	shadowLegs := fs.Bool("shadow", false, "add self-shadow legs (the bundle shadowing itself) to measure lifecycle dual-evaluation overhead")
 	opts, tel := commonOpts(fs)
 	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
@@ -77,28 +79,45 @@ func cmdBenchServe(args []string) error {
 		samples[i] = s
 	}
 
-	legs := []struct {
+	type legSpec struct {
 		Codec     serve.Codec
 		Interpret bool
-	}{
-		{serve.CodecJSON, true}, // baseline
-		{serve.CodecJSON, false},
-		{serve.CodecBinary, true},
-		{serve.CodecBinary, false},
+		Shadow    bool
+	}
+	legs := []legSpec{
+		{serve.CodecJSON, true, false}, // baseline
+		{serve.CodecJSON, false, false},
+		{serve.CodecBinary, true, false},
+		{serve.CodecBinary, false, false},
+	}
+	if *shadowLegs {
+		// Self-shadow legs: the candidate is the live bundle itself, so
+		// every request dual-evaluates with zero disagreements — the pure
+		// cost of the lifecycle mirror path on top of the two shipping
+		// codecs, comparable leg-for-leg against the compiled rows above.
+		legs = append(legs,
+			legSpec{serve.CodecJSON, false, true},
+			legSpec{serve.CodecBinary, false, true})
 	}
 	results := make([]benchServeLeg, 0, len(legs))
 	for _, leg := range legs {
-		res, err := runServeLeg(b, *bundlePath, leg.Codec, leg.Interpret, id, samples,
+		res, err := runServeLeg(b, *bundlePath, leg.Codec, leg.Interpret, leg.Shadow, id, samples,
 			*conns, *warmup, *duration, opts.Workers)
 		if err != nil {
 			return err
 		}
 		results = append(results, *res)
+		label := res.Codec + "+" + res.Eval
+		if res.Shadow {
+			label += "+shadow"
+		}
 		fmt.Fprintf(os.Stderr, "  %-22s %9.0f req/s  p50 %6dµs  p99 %6dµs  p99.9 %6dµs  sheds %d\n",
-			res.Codec+"+"+res.Eval, res.ThroughputRPS, res.P50Micros, res.P99Micros, res.P999Micros, res.Sheds)
+			label, res.ThroughputRPS, res.P50Micros, res.P99Micros, res.P999Micros, res.Sheds)
 	}
 
-	baseline, shipping := results[0], results[len(results)-1]
+	// The shipping leg is the last non-shadow one (binary+compiled);
+	// optional shadow legs append after it.
+	baseline, shipping := results[0], results[3]
 	speedup := 0.0
 	if baseline.ThroughputRPS > 0 {
 		speedup = shipping.ThroughputRPS / baseline.ThroughputRPS
@@ -140,8 +159,11 @@ type benchServeSnapshot struct {
 }
 
 type benchServeLeg struct {
-	Codec         string  `json:"codec"`
-	Eval          string  `json:"eval"`
+	Codec string `json:"codec"`
+	Eval  string `json:"eval"`
+	// Shadow marks a self-shadow leg: lifecycle dual evaluation enabled
+	// with the bundle shadowing itself.
+	Shadow        bool    `json:"shadow,omitempty"`
 	Requests      int     `json:"requests"`
 	Sheds         int     `json:"sheds"`
 	Errors        int     `json:"errors"`
@@ -154,19 +176,41 @@ type benchServeLeg struct {
 
 // runServeLeg measures one codec × evaluation-mode combination against
 // a fresh in-process server, so no leg inherits the previous leg's
-// warm caches, pools or breaker state.
-func runServeLeg(b *serve.Bundle, path string, codec serve.Codec, interpret bool,
+// warm caches, pools or breaker state. With shadow, the leg serves
+// with a lifecycle monitor and the bundle loaded as its own shadow
+// candidate (the dual-evaluation worst case: every request mirrors).
+func runServeLeg(b *serve.Bundle, path string, codec serve.Codec, interpret, shadow bool,
 	detector string, samples []serve.Sample, conns int,
 	warmup, duration time.Duration, workers int) (*benchServeLeg, error) {
 
-	s, err := serve.NewServer(b, path, serve.Config{
+	cfg := serve.Config{
 		QueueDepth: 2 * conns,
 		Workers:    workers,
 		Interpret:  interpret,
 		Registry:   telemetry.New(),
-	})
+	}
+	if shadow {
+		dir, err := os.MkdirTemp("", "edem-bench-lifecycle-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		mon, err := lifecycle.NewMonitor(lifecycle.MonitorConfig{Dir: dir, Registry: cfg.Registry})
+		if err != nil {
+			return nil, err
+		}
+		defer mon.Close()
+		cfg.Monitor = mon
+	}
+	s, err := serve.NewServer(b, path, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if shadow {
+		if _, err := s.LoadShadow(path); err != nil {
+			s.Close()
+			return nil, err
+		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -238,7 +282,7 @@ func runServeLeg(b *serve.Bundle, path string, codec serve.Codec, interpret bool
 	}
 
 	var all []int64
-	leg := benchServeLeg{Codec: codec.String()}
+	leg := benchServeLeg{Codec: codec.String(), Shadow: shadow}
 	leg.Eval = "compiled"
 	if interpret {
 		leg.Eval = "interpreted"

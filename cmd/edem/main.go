@@ -27,6 +27,7 @@ import (
 	"edem/internal/core"
 	"edem/internal/dataset"
 	"edem/internal/fabric"
+	"edem/internal/lifecycle"
 	"edem/internal/mining/attrsel"
 	"edem/internal/mining/eval"
 	"edem/internal/mining/rules"
@@ -69,6 +70,8 @@ func run(args []string) error {
 		return cmdExport(rest)
 	case "serve":
 		return cmdServe(rest)
+	case "lifecycle":
+		return cmdLifecycle(rest)
 	case "bench-serve":
 		return cmdBenchServe(rest)
 	case "latency":
@@ -108,8 +111,14 @@ commands:
   serve     -bundle FILE [-addr HOST:PORT] [-queue N]     serve detector evaluations over HTTP/JSON
             [-deadline D] [-drain D] [-policy fail-open|fail-closed]
             [-breaker-threshold N] [-breaker-cooldown D] [-allow-delay]
+            [-lifecycle DIR]  enable feedback/drift/shadow/canary (journals under DIR)
+            [-shadow FILE] [-canary N] [-canary-min-requests N]
+            [-canary-max-disagree F] [-canary-max-alarm-regress F] [-drift-threshold F]
+  lifecycle status|shadow|promote|rollback|baseline|feedback   drive a running serve instance
+            [-server URL] status: drift + canary view      shadow: -bundle FILE
+            promote: [-percent N]   rollback: [-reason S]  feedback: -detector ID -outcome L
   bench-serve -bundle FILE [-out FILE] [-duration D]      measure serving throughput/latency per codec
-            [-conns N] [-batch N] [-detector ID]          and evaluation mode, write BENCH_serve.json
+            [-conns N] [-batch N] [-detector ID] [-shadow] and evaluation mode, write BENCH_serve.json
   latency   -dataset ID                                   trace detection latency of a learnt detector
   rules     -dataset ID                                   learn a PRISM rule-induction predicate instead
   rank      -dataset ID [-method ig|gr|su]                rank the module variables by class information
@@ -805,6 +814,13 @@ func cmdServe(args []string) error {
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive evaluation failures that trip a detector's circuit")
 	breakerCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before half-open probing")
 	allowDelay := fs.Bool("allow-delay", false, "honour delay_ms in requests (synthetic latency for load testing)")
+	lifecycleDir := fs.String("lifecycle", "", "lifecycle journal directory; enables feedback, drift tracking, shadow evaluation and canary promotion")
+	shadowPath := fs.String("shadow", "", "candidate bundle to shadow-evaluate from startup (requires -lifecycle)")
+	canaryPct := fs.Int("canary", 0, "route N%% of candidate-answerable traffic to the -shadow candidate from startup (1-99)")
+	canaryMin := fs.Int64("canary-min-requests", 50, "dual-evaluated requests before the canary rollback verdict applies")
+	canaryMaxDisagree := fs.Float64("canary-max-disagree", 0.20, "per-sample disagreement rate that rolls a canary back automatically")
+	canaryMaxRegress := fs.Float64("canary-max-alarm-regress", 0.10, "candidate alarm-rate increase over live that rolls a canary back")
+	driftThreshold := fs.Float64("drift-threshold", 0.25, "feature-distribution distance against the baseline that flags drift")
 	opts, tel := commonOpts(fs)
 	if err := parseArgs(fs, args, opts, tel); err != nil {
 		return err
@@ -827,6 +843,23 @@ func cmdServe(args []string) error {
 	if reg == nil {
 		reg = telemetry.New()
 	}
+	var mon *lifecycle.Monitor
+	if *lifecycleDir != "" {
+		mon, err = lifecycle.NewMonitor(lifecycle.MonitorConfig{
+			Dir:             *lifecycleDir,
+			MinRequests:     *canaryMin,
+			MaxDisagreeRate: *canaryMaxDisagree,
+			MaxAlarmRegress: *canaryMaxRegress,
+			Drift:           lifecycle.DriftConfig{MaxFeatureDistance: *driftThreshold},
+			Registry:        reg,
+		})
+		if err != nil {
+			return err
+		}
+		defer mon.Close()
+	} else if *shadowPath != "" || *canaryPct != 0 {
+		return fmt.Errorf("serve: -shadow and -canary need -lifecycle DIR")
+	}
 	s, err := serve.NewServer(b, *bundlePath, serve.Config{
 		QueueDepth:      *queue,
 		Workers:         opts.Workers,
@@ -836,12 +869,23 @@ func cmdServe(args []string) error {
 		Breaker:         serve.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		AllowDelay:      *allowDelay,
 		Registry:        reg,
+		Monitor:         mon,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	})
 	if err != nil {
 		return err
+	}
+	if *shadowPath != "" {
+		if _, err := s.LoadShadow(*shadowPath); err != nil {
+			return err
+		}
+		if *canaryPct > 0 {
+			if _, err := s.Promote(*canaryPct); err != nil {
+				return err
+			}
+		}
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()

@@ -31,6 +31,7 @@ import (
 	"edem/internal/core"
 	"edem/internal/dataset"
 	"edem/internal/fabric"
+	"edem/internal/lifecycle"
 	"edem/internal/mining"
 	"edem/internal/mining/eval"
 	"edem/internal/mining/rules"
@@ -411,6 +412,56 @@ type CompiledProgram = predicate.Program
 // the compiler cannot represent exactly return an error; callers (like
 // the serving runtime) fall back to the interpreter.
 func CompilePredicate(p *Predicate) (*CompiledProgram, error) { return predicate.Compile(p) }
+
+// Detector lifecycle types. The lifecycle closes the methodology's
+// refinement loop at serving time: a feedback journal of labelled
+// alarm outcomes, drift detection against a frozen baseline, and the
+// shadow/canary accounting the serving runtime uses to promote a
+// candidate bundle or roll it back automatically; see
+// internal/lifecycle and DESIGN.md §16.
+type (
+	// LifecycleMonitor owns the serving-side lifecycle: journals, drift
+	// tracker and the canary rollback window. Attach one through
+	// ServeConfig.Monitor; a nil monitor disables all lifecycle hooks.
+	LifecycleMonitor = lifecycle.Monitor
+	// LifecycleMonitorConfig tunes the monitor (journal directory,
+	// canary thresholds, drift thresholds).
+	LifecycleMonitorConfig = lifecycle.MonitorConfig
+	// DriftTracker accumulates per-detector alarm-rate and
+	// feature-distribution evidence and compares it against a baseline.
+	DriftTracker = lifecycle.Tracker
+	// DriftConfig tunes the drift comparator thresholds.
+	DriftConfig = lifecycle.DriftConfig
+	// DriftRow is one detector's drift report row.
+	DriftRow = lifecycle.DriftRow
+	// FeedbackRecord is one labelled alarm outcome in the feedback
+	// journal.
+	FeedbackRecord = lifecycle.FeedbackRecord
+	// VerdictDiffRecord is one journalled live-vs-candidate
+	// disagreement.
+	VerdictDiffRecord = lifecycle.DiffRecord
+	// LifecycleWindow is the shadow/canary accounting window.
+	LifecycleWindow = lifecycle.WindowStats
+)
+
+// NewLifecycleMonitor opens (or continues) the lifecycle journals under
+// cfg.Dir and returns a monitor ready for ServeConfig.Monitor. Close it
+// after the server drains.
+func NewLifecycleMonitor(cfg LifecycleMonitorConfig) (*LifecycleMonitor, error) {
+	return lifecycle.NewMonitor(cfg)
+}
+
+// ReadFeedbackJournal loads every decodable feedback record from a
+// feedback.jsonl file, also reporting how many torn lines were skipped.
+func ReadFeedbackJournal(path string) (recs []FeedbackRecord, torn int, err error) {
+	return lifecycle.ReadFeedback(path)
+}
+
+// ReadVerdictDiffJournal loads every decodable verdict-diff record from
+// a diffs.jsonl file, also reporting how many torn lines were skipped.
+func ReadVerdictDiffJournal(path string) (recs []VerdictDiffRecord, torn int, err error) {
+	return lifecycle.ReadDiffs(path)
+}
 
 // WriteCSV serialises a dataset as CSV (header row, class column last).
 func WriteCSV(w io.Writer, d *Dataset) error { return dataset.WriteCSV(w, d) }

@@ -5,20 +5,30 @@
 // with context propagation, a bounded admission queue that sheds load
 // with explicit rejections once full, a per-detector circuit breaker
 // with half-open probing, configurable fail-open/fail-closed
-// degradation, hot predicate reload via atomic bundle swap, and
-// draining shutdown. The design follows ZOFI's zero-overhead stance:
-// the detection path stays cheap and bounded even under stress, and
-// overload degrades to explicit rejection instead of queue collapse.
+// degradation, hot predicate reload via atomic bundle swap, draining
+// shutdown, and a detector lifecycle — shadow evaluation of a
+// candidate bundle beside the live one, canary promotion with
+// automatic rollback, and feedback/drift journalling through
+// internal/lifecycle (see lifecycle.go). The design follows ZOFI's
+// zero-overhead stance: the detection path stays cheap and bounded
+// even under stress, and overload degrades to explicit rejection
+// instead of queue collapse.
 //
 // Role in the methodology: the deployment half of Step 4 and §VII-D —
 // `edem export` packages learnt predicates into a bundle, `edem serve`
-// evaluates streamed state samples against them, and serve.Client
-// re-validates datasets against a remote service.
+// evaluates streamed state samples against them, serve.Client
+// re-validates datasets against a remote service, and `edem lifecycle`
+// closes the loop back into refinement.
 //
 // Ownership and concurrency: a Bundle is immutable once loaded. A
-// Server is safe for unrestricted concurrent use; its active bundle is
-// swapped atomically on reload and in-flight requests finish on the
-// bundle they started with. A Client is safe for concurrent use.
+// Server is safe for unrestricted concurrent use. Up to two bundle
+// generations are live at once — the serving bundle and an optional
+// shadow candidate — each swapped atomically; a request resolves the
+// generation that serves it exactly once, in-flight requests finish on
+// the generation they started with, and the client-visible response is
+// produced solely by the serving generation (candidate evaluation
+// happens after the response is written). A Client is safe for
+// concurrent use.
 package serve
 
 import (

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"edem/internal/lifecycle"
 	"edem/internal/parallel"
 	"edem/internal/predicate"
 	"edem/internal/telemetry"
@@ -88,6 +89,12 @@ type Config struct {
 	// Registry receives the serve.* metrics; nil falls back to the
 	// process default registry at construction time.
 	Registry *telemetry.Registry
+	// Monitor, when non-nil, enables the detector lifecycle: the
+	// feedback journal, drift tracking, shadow evaluation and canary
+	// promotion (see lifecycle.go in this package). A nil monitor keeps
+	// every lifecycle hook off the request path entirely. The monitor is
+	// owned by the caller, which must Close it after the server drains.
+	Monitor *lifecycle.Monitor
 	// Logf, when non-nil, receives operational log lines (reloads,
 	// drain progress).
 	Logf func(format string, args ...any)
@@ -135,6 +142,10 @@ type bundleState struct {
 	gen  uint64
 	ids  []string // sorted, for stable status listings
 	dets map[string]*servedDetector
+	// src is the bundle the state was built from, retained so a
+	// lifecycle rollback after a full promote can rebuild the prior
+	// bundle without re-reading its file (which may have changed).
+	src *Bundle
 }
 
 // job is one admitted evaluation request travelling through the
@@ -184,6 +195,20 @@ type Server struct {
 	mCompFallbks *telemetry.Counter
 	gQueue       *telemetry.Gauge
 	hRequestNS   *telemetry.Histogram
+
+	// Lifecycle state (all inert when monitor is nil). shadow holds the
+	// candidate bundle under dual evaluation; canaryPct the percentage
+	// of candidate-answerable traffic it serves; prior the bundle a full
+	// promote replaced. lcMu serialises lifecycle transitions (load,
+	// promote, rollback) — the request path only loads the atomics.
+	monitor     *lifecycle.Monitor
+	shadow      atomic.Pointer[bundleState]
+	prior       atomic.Pointer[priorBundle]
+	canaryPct   atomic.Int64
+	canarySeq   atomic.Uint64
+	lcMu        sync.Mutex
+	mPromotions *telemetry.Counter
+	mRollbacks  *telemetry.Counter
 }
 
 // NewServer builds a server from a validated bundle and starts its
@@ -214,6 +239,11 @@ func NewServer(b *Bundle, path string, cfg Config) (*Server, error) {
 	s.mCompFallbks = s.reg.Counter("predicate.compile_fallbacks")
 	s.gQueue = s.reg.Gauge("serve.queue_depth")
 	s.hRequestNS = s.reg.Histogram("serve.request_ns")
+	s.monitor = cfg.Monitor
+	if s.monitor != nil {
+		s.mPromotions = s.reg.Counter("lifecycle.promotions")
+		s.mRollbacks = s.reg.Counter("lifecycle.rollbacks")
+	}
 
 	st, err := s.buildState(b, path)
 	if err != nil {
@@ -242,6 +272,7 @@ func (s *Server) buildState(b *Bundle, path string) (*bundleState, error) {
 		path: path,
 		gen:  s.gens.Add(1),
 		dets: make(map[string]*servedDetector, len(b.Detectors)),
+		src:  b,
 	}
 	for _, e := range b.Detectors {
 		pred := e.Predicate
@@ -399,6 +430,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/admin/reload", s.handleReload)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/feedback", s.handleFeedback)
+	mux.HandleFunc("/admin/shadow", s.handleShadow)
+	mux.HandleFunc("/admin/promote", s.handlePromote)
+	mux.HandleFunc("/admin/rollback", s.handleRollback)
+	mux.HandleFunc("/admin/baseline", s.handleBaseline)
+	mux.HandleFunc("/admin/lifecycle", s.handleLifecycle)
 	return mux
 }
 
@@ -553,7 +590,23 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Lifecycle routing: with a candidate loaded, one side serves and
+	// the other mirrors after the response is written. A canary routes
+	// canaryPct% of candidate-answerable requests to the candidate;
+	// everything else (and everything when no candidate is loaded)
+	// serves from the live bundle exactly as before.
 	st := s.bundle.Load()
+	var mirror *bundleState
+	canaried := false
+	if s.monitor != nil {
+		if cand := s.shadow.Load(); cand != nil {
+			mirror = cand
+			if pct := s.canaryPct.Load(); pct > 0 && cand.dets[req.Detector] != nil &&
+				int64(s.canarySeq.Add(1)%100) < pct {
+				st, mirror, canaried = cand, st, true
+			}
+		}
+	}
 	gen := st.gen
 	writeEval := func(code int, resp EvalResponse) {
 		resp.BundleGeneration = gen
@@ -653,10 +706,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 	select {
 	case res := <-j.done:
-		// The evaluation is over: the pooled request buffers are free
-		// whatever the outcome (verdicts/alarms never alias them).
-		release()
 		if res.err != nil {
+			// The evaluation is over: the pooled request buffers are
+			// free (verdicts/alarms never alias them).
+			release()
 			if ctx.Err() != nil {
 				// Deadline, not a detector fault.
 				det.breaker.Cancel()
@@ -686,6 +739,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 			Alarms:    res.alarms,
 			Evaluated: len(res.verdicts),
 		})
+		// Lifecycle post-processing runs after the response bytes are
+		// written (so it cannot perturb the served verdict or its
+		// latency-to-first-byte) but before release() — it reads
+		// req.Samples, which may alias the pooled binary buffers.
+		if s.monitor != nil {
+			s.lifecyclePost(req.Detector, req.Samples, res.verdicts, st, mirror, canaried)
+		}
+		release()
 	case <-ctx.Done():
 		// The job may still be queued or running; the worker will
 		// resolve it into the buffered channel, and the pooled request

@@ -1,0 +1,58 @@
+package telemetry
+
+import "testing"
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int64
+		want float64
+	}{
+		{"both empty", nil, nil, 0},
+		{"both zero mass", []int64{0, 0}, []int64{0, 0}, 0},
+		{"one empty", []int64{1, 2}, nil, 1},
+		{"one zero mass", []int64{0}, []int64{3}, 1},
+		{"identical", []int64{1, 2, 3}, []int64{1, 2, 3}, 0},
+		{"proportional", []int64{1, 1}, []int64{10, 10}, 0},
+		{"disjoint", []int64{4, 0}, []int64{0, 4}, 1},
+		{"half moved", []int64{2, 2, 0}, []int64{2, 0, 2}, 0.5},
+		{"length mismatch zero pads", []int64{1, 1}, []int64{1, 1, 0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := Distance(c.a, c.b); got != c.want {
+			t.Errorf("%s: Distance(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+	// Symmetry and range on an arbitrary pair.
+	a, b := []int64{5, 0, 3, 9}, []int64{1, 7, 0, 2}
+	d1, d2 := Distance(a, b), Distance(b, a)
+	if d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	if d1 < 0 || d1 > 1 {
+		t.Errorf("out of [0,1]: %v", d1)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Buckets(); len(got) != histBuckets {
+		t.Fatalf("nil histogram buckets length %d, want %d", len(got), histBuckets)
+	}
+	h := &Histogram{}
+	h.Observe(0) // bucket 0
+	h.Observe(1) // bucket 1
+	h.Observe(1)
+	h.Observe(1 << 21) // bucket 22
+	bk := h.Buckets()
+	if bk[0] != 1 || bk[1] != 2 || bk[22] != 1 {
+		t.Fatalf("buckets = %v", bk[:24])
+	}
+	var total int64
+	for _, v := range bk {
+		total += v
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket mass %d != count %d", total, h.Count())
+	}
+}

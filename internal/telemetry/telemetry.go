@@ -262,6 +262,70 @@ func bucketOf(v int64) int {
 	return idx
 }
 
+// Buckets returns a copy of the power-of-two bucket counts (bucket i
+// holds values whose bit length is i; bucket 0 holds v <= 0). Nil-safe:
+// a nil histogram returns a zero slice of the standard length, so
+// comparators never branch on presence.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, histBuckets)
+	if h == nil {
+		return out
+	}
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Distance is the deterministic histogram comparator used by drift
+// detection (internal/lifecycle): the total-variation distance between
+// the two bucket-mass distributions, in [0, 1]. 0 means identical
+// shape, 1 means disjoint support. Edge semantics are fixed so drift
+// verdicts are reproducible:
+//
+//   - both histograms empty → 0 (no evidence is not drift),
+//   - exactly one empty → 1 (mass appeared from, or vanished to, nothing),
+//   - different lengths → the shorter is treated as zero-padded.
+//
+// Normalisation and summation happen in ascending bucket order with
+// IEEE-754 float64 arithmetic, so the result is bit-reproducible for
+// the same inputs on any conforming platform.
+func Distance(a, b []int64) float64 {
+	var na, nb int64
+	for _, v := range a {
+		na += v
+	}
+	for _, v := range b {
+		nb += v
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var av, bv int64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		d := float64(av)/float64(na) - float64(bv)/float64(nb)
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / 2
+}
+
 // Count returns the number of observations (zero on nil).
 func (h *Histogram) Count() int64 {
 	if h == nil {

@@ -83,6 +83,7 @@ go build -o "$TMPDIR_SERVE/edem" ./cmd/edem
 "$TMPDIR_SERVE/edem" export -dataset MG-A1 -scale 2 -stride 16 \
     -out "$TMPDIR_SERVE/bundle.json"
 "$TMPDIR_SERVE/edem" bench-serve -bundle "$TMPDIR_SERVE/bundle.json" \
+    -shadow \
     -out "${SERVE_OUT:-BENCH_serve.json}" \
     -duration "${SERVE_DURATION:-3s}"
 echo "wrote ${SERVE_OUT:-BENCH_serve.json}"
