@@ -101,7 +101,9 @@ commands:
             [-incremental]  after a spec change, re-run only invalidated shards
   fabric    serve -dataset ID -journal DIR [-addr H:P]    coordinate a distributed campaign
             [-resume] [-incremental] [-lease-ttl D] [-linger D]
+            [-auth-token T] [-tls-cert F -tls-key F]  bearer auth + TLS on /fabric/v1
             work  -dataset ID -coordinator URL [-name N]  execute leased shards for a coordinator
+            [-auth-token T]
   tables    -table 2|3|4 [-full] [-scale N] [-stride N]   regenerate a paper table
   run       -dataset ID [-full]                           run Steps 1-4 on one dataset
   tree      -dataset ID                                   print the induced tree (Figure 2)
@@ -125,6 +127,9 @@ commands:
   list                                                    list Table II dataset IDs
 
 common flags (all commands): -seed N -scale N -stride N -workers N -journal DIR -fork
+fault model:  -fault-model transient|burst|stuckat|intermittent
+              -burst-width N (burst)   -persist N (intermittent)
+              non-transient models version the plan hash; transient stays byte-identical
 telemetry:  -metrics-out FILE   write a JSON metrics snapshot on exit
             -trace              print the phase span tree to stderr
             -debug-addr ADDR    serve pprof + expvar (e.g. localhost:6060)
@@ -145,6 +150,12 @@ func commonOpts(fs *flag.FlagSet) (*core.Options, *telemetryCfg) {
 	fs.IntVar(&opts.Workers, "workers", 0, "global worker budget shared across all nesting levels (0 = all cores)")
 	fs.StringVar(&opts.Journal, "journal", "", "campaign checkpoint root (one journal per dataset under DIR)")
 	fs.BoolVar(&opts.Fork, "fork", false, "enable the golden-state forking fast path for Forkable targets (bit-identical results, ~10x faster campaigns)")
+	// The fault-model axis. The default (transient, width 1, persist 1)
+	// reproduces today's campaigns byte-for-byte: same plan hash, same
+	// journal, same ARFF.
+	fs.Var(&opts.Fault.Model, "fault-model", "fault model: transient (single bit-flip), burst (adjacent multi-bit), stuckat (re-asserted until run end), intermittent (re-asserted for -persist activations)")
+	fs.IntVar(&opts.Fault.Width, "burst-width", 0, "adjacent bits flipped per injection with -fault-model burst (default 1)")
+	fs.IntVar(&opts.Fault.Persist, "persist", 0, "activations an intermittent fault stays asserted with -fault-model intermittent (default 1)")
 	// Dataset consumers resume implicitly: a half-finished journal is
 	// completed, a finished one is replayed without target runs. Only
 	// `edem campaign` demands the explicit -resume acknowledgement.
@@ -353,6 +364,9 @@ func runOneCampaign(parent context.Context, id string, opts *core.Options, stopA
 	c := res.Campaign
 	fmt.Printf("campaign %s: plan %.12s, %d/%d shards run (%d restored), %d retries\n",
 		id, res.PlanHash, res.ShardsRun, res.Shards, res.ShardsRestored, res.Retries)
+	if f := spec.Fault.Normalized(); showStats || !f.IsTransient() {
+		fmt.Printf("  fault model: %s (width %d, persist %d)\n", f.Model, f.Width, f.Persist)
+	}
 	if res.TornTails > 0 {
 		fmt.Printf("  resume recovered %d torn checkpoint line(s); their shards re-ran\n", res.TornTails)
 	}
@@ -407,6 +421,9 @@ func cmdFabricServe(args []string) error {
 	incremental := fs.Bool("incremental", false, "with -resume: re-run only shards invalidated by a spec/target change")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "shard lease lifetime without a heartbeat")
 	linger := fs.Duration("linger", time.Second, "how long to keep serving after completion so idle workers see it")
+	authToken := fs.String("auth-token", "", "require this bearer token on every /fabric/v1 call (empty = no auth)")
+	tlsCert := fs.String("tls-cert", "", "serve TLS with this PEM certificate (requires -tls-key)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
 	opts, tel := commonOpts(fs)
 	fs.IntVar(&opts.Shards, "shards", 0, "checkpoint shard count (0 = ~256 runs per shard)")
 	if err := parseArgs(fs, args, opts, tel); err != nil {
@@ -428,10 +445,16 @@ func cmdFabricServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return fmt.Errorf("fabric serve needs both -tls-cert and -tls-key (or neither)")
+	}
 	co, err := fabric.NewCoordinator(target, spec, opts.CampaignConfig(*id), fabric.CoordinatorConfig{
-		LeaseTTL: *leaseTTL,
-		Linger:   *linger,
-		Logf:     stderrLogf,
+		LeaseTTL:  *leaseTTL,
+		Linger:    *linger,
+		Logf:      stderrLogf,
+		AuthToken: *authToken,
+		TLSCert:   *tlsCert,
+		TLSKey:    *tlsKey,
 	})
 	if err != nil {
 		return err
@@ -465,6 +488,7 @@ func cmdFabricWork(args []string) error {
 	coordinator := fs.String("coordinator", "", "coordinator base URL, e.g. http://127.0.0.1:9090")
 	name := fs.String("name", "", "worker name in leases and logs (default worker-<pid>)")
 	poll := fs.Duration("poll", 200*time.Millisecond, "idle wait between lease attempts")
+	authToken := fs.String("auth-token", "", "bearer token for a coordinator started with -auth-token")
 	opts, tel := commonOpts(fs)
 	fs.DurationVar(&opts.RunTimeout, "timeout", 0, "per-run watchdog; hung runs are retried then skipped (0 = none)")
 	fs.IntVar(&opts.MaxRetries, "max-retries", 2, "extra attempts for a hung or crashed-engine run before skipping the cell")
@@ -495,6 +519,7 @@ func cmdFabricWork(args []string) error {
 		Name:        *name,
 		Poll:        *poll,
 		Logf:        stderrLogf,
+		AuthToken:   *authToken,
 	})
 	if err != nil {
 		return err

@@ -305,11 +305,34 @@ const (
 // and pass them to every Probe.Visit.
 var (
 	Float64Ref = propane.Float64Ref
+	Float32Ref = propane.Float32Ref
 	Int64Ref   = propane.Int64Ref
 	Int32Ref   = propane.Int32Ref
 	IntRef     = propane.IntRef
+	Uint64Ref  = propane.Uint64Ref
 	BoolRef    = propane.BoolRef
 )
+
+// Fault selects the campaign's fault model (Spec.Fault / core.Options.
+// Fault). The zero value is the classic transient single bit-flip and
+// keeps plans, journals and ARFF output byte-identical to campaigns
+// that predate the axis.
+type Fault = bitflip.Fault
+
+// FaultModel enumerates the supported fault models.
+type FaultModel = bitflip.Model
+
+// Fault models for Fault.Model.
+const (
+	Transient    = bitflip.Transient
+	Burst        = bitflip.Burst
+	StuckAt      = bitflip.StuckAt
+	Intermittent = bitflip.Intermittent
+)
+
+// ParseFaultModel parses a fault-model name ("transient", "burst",
+// "stuckat", "intermittent").
+func ParseFaultModel(s string) (FaultModel, error) { return bitflip.ParseModel(s) }
 
 // NopProbe ignores all instrumentation visits; use it for plain runs.
 type NopProbe = propane.NopProbe

@@ -1,0 +1,175 @@
+package bitflip
+
+import "fmt"
+
+// Model identifies a fault model — the shape of the corruption a
+// campaign applies at each (variable, bit, time) cell. The zero value
+// is Transient, the paper's single bit-flip, so specs that predate the
+// fault-model axis keep their meaning (and their plan hashes)
+// unchanged.
+type Model int
+
+const (
+	// Transient flips one bit once at the injection activation — the
+	// paper's fault model and the default everywhere.
+	Transient Model = iota
+	// Burst flips Width adjacent bits (bit .. bit+Width-1) once at the
+	// injection activation.
+	Burst
+	// StuckAt forces the bit to the complement of its value at the
+	// injection activation and re-asserts that stuck value at every
+	// subsequent activation of the variable for the rest of the run.
+	StuckAt
+	// Intermittent flips the bit at the injection activation and
+	// re-asserts the flipped value at the next Persist-1 activations
+	// (Persist assertions in total), then releases the variable.
+	Intermittent
+)
+
+var modelNames = map[Model]string{
+	Transient:    "transient",
+	Burst:        "burst",
+	StuckAt:      "stuckat",
+	Intermittent: "intermittent",
+}
+
+func (m Model) String() string {
+	if s, ok := modelNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// ParseModel resolves a fault-model name as spelt on the command line
+// and in PROPANE log headers.
+func ParseModel(s string) (Model, error) {
+	for m, name := range modelNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("bitflip: unknown fault model %q (want transient, burst, stuckat or intermittent)", s)
+}
+
+// Set implements flag.Value so a *Model can back a -fault-model flag.
+func (m *Model) Set(s string) error {
+	parsed, err := ParseModel(s)
+	if err != nil {
+		return err
+	}
+	*m = parsed
+	return nil
+}
+
+// Fault is one fault-model configuration: the model plus its knobs.
+// The zero value is the default transient single-bit flip.
+type Fault struct {
+	// Model selects the corruption shape.
+	Model Model
+	// Width is the number of adjacent bits a Burst flips. Zero means 1;
+	// values above 1 are only valid for Burst.
+	Width int
+	// Persist is the total number of consecutive activations an
+	// Intermittent fault is asserted for. Zero means 1; values above 1
+	// are only valid for Intermittent.
+	Persist int
+}
+
+// Normalized fills the defaulted knobs (Width and Persist zero → 1) so
+// equal configurations compare and hash equal however they were spelt.
+func (f Fault) Normalized() Fault {
+	if f.Width == 0 {
+		f.Width = 1
+	}
+	if f.Persist == 0 {
+		f.Persist = 1
+	}
+	return f
+}
+
+// IsTransient reports whether f is the default single transient flip —
+// the configuration that must keep hashing and journalling exactly as
+// it did before the fault-model axis existed.
+func (f Fault) IsTransient() bool {
+	n := f.Normalized()
+	return n.Model == Transient && n.Width == 1 && n.Persist == 1
+}
+
+// Persistent reports whether the model re-asserts its corruption at
+// activations after the injection one. Persistent faults are unsound
+// on the fork fast path: the probe carries hidden future re-assertions
+// that no target state snapshot can capture, so equal states no longer
+// imply equal remaining executions.
+func (f Fault) Persistent() bool {
+	return f.Model == StuckAt || f.Model == Intermittent
+}
+
+// Validate rejects configurations that are malformed regardless of the
+// variable they would be applied to. Per-variable range checks (a
+// burst wider than the variable, a bit outside the kind) are apply
+// time errors, surfaced per record — see Mask.
+func (f Fault) Validate() error {
+	n := f.Normalized()
+	if _, ok := modelNames[n.Model]; !ok {
+		return fmt.Errorf("bitflip: unknown fault model %d", int(n.Model))
+	}
+	if n.Width < 1 {
+		return fmt.Errorf("bitflip: burst width %d must be >= 1", n.Width)
+	}
+	if n.Width > 1 && n.Model != Burst {
+		return fmt.Errorf("bitflip: width %d is only valid for the burst model, not %s", n.Width, n.Model)
+	}
+	if n.Width > 64 {
+		return fmt.Errorf("bitflip: burst width %d exceeds 64 bits", n.Width)
+	}
+	if n.Persist < 1 {
+		return fmt.Errorf("bitflip: persist count %d must be >= 1", n.Persist)
+	}
+	if n.Persist > 1 && n.Model != Intermittent {
+		return fmt.Errorf("bitflip: persist %d is only valid for the intermittent model, not %s", n.Persist, n.Model)
+	}
+	return nil
+}
+
+// String renders the normalized configuration for logs and -stats
+// output: "transient", "burst(width=3)", "stuckat",
+// "intermittent(persist=4)".
+func (f Fault) String() string {
+	n := f.Normalized()
+	switch {
+	case n.Model == Burst && n.Width > 1:
+		return fmt.Sprintf("burst(width=%d)", n.Width)
+	case n.Model == Intermittent && n.Persist > 1:
+		return fmt.Sprintf("intermittent(persist=%d)", n.Persist)
+	default:
+		return n.Model.String()
+	}
+}
+
+// Mask returns the XOR mask of the fault's first-activation corruption
+// for a variable of the given kind: bits bit .. bit+Width-1. All four
+// models corrupt identically at the injection activation — forcing a
+// bit to the complement of its current value is the same XOR — so one
+// mask serves them all; the models differ only in what happens at
+// later activations. The error reports unsupported model × kind
+// combinations (burst wider than the variable, bit outside the kind),
+// which callers surface as per-record flip errors rather than dropping
+// the cell silently.
+func (f Fault) Mask(kind Kind, bit int) (uint64, error) {
+	n := f.Normalized()
+	bits := kind.Bits()
+	if bit < 0 || bit >= bits {
+		return 0, &BadBitError{Kind: kind, Bit: bit}
+	}
+	if bit+n.Width > bits {
+		return 0, fmt.Errorf("bitflip: %s at bit %d spans bits %d..%d, outside %s's %d bits",
+			f, bit, bit, bit+n.Width-1, kind, bits)
+	}
+	var mask uint64
+	if n.Width >= 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1)<<uint(n.Width) - 1)
+	}
+	return mask << uint(bit), nil
+}

@@ -179,7 +179,7 @@ func Run(ctx context.Context, target propane.Target, spec propane.Spec, cfg Conf
 		target:  target,
 		jnl:     jnl,
 		reg:     reg,
-		metrics: propane.NewRunMetrics(reg),
+		metrics: propane.NewRunMetrics(reg).WithFault(plan.Spec.Fault),
 	}
 	e.done.Store(int64(len(restored)))
 

@@ -51,7 +51,7 @@ func newExecutorForPlan(ctx context.Context, target propane.Target, plan *Plan, 
 		plan:    plan,
 		target:  target,
 		reg:     reg,
-		metrics: propane.NewRunMetrics(reg),
+		metrics: propane.NewRunMetrics(reg).WithFault(plan.Spec.Fault),
 	}
 	if err := e.prepareGoldens(ctx); err != nil {
 		return nil, err

@@ -85,6 +85,12 @@ type manifestSpec struct {
 	TestCases int    `json:"test_cases"`
 	Seed      uint64 `json:"seed"`
 	BitStride int    `json:"bit_stride"`
+	// The fault-model axis, absent for the default transient model so
+	// transient manifests stay byte-identical to pre-fault-model ones
+	// (and old manifests decode as transient).
+	FaultModel string `json:"fault_model,omitempty"`
+	FaultWidth int    `json:"fault_width,omitempty"`
+	Persist    int    `json:"fault_persist,omitempty"`
 }
 
 func newManifest(p *Plan) manifest {
@@ -96,23 +102,29 @@ func newManifest(p *Plan) manifest {
 	for i, s := range p.Sections {
 		sections[i] = manifestSection{TC: s.TC, Lo: s.Lo, Hi: s.Hi, Hash: s.Hash}
 	}
+	spec := manifestSpec{
+		InjectAt:  int(p.Spec.InjectAt),
+		SampleAt:  int(p.Spec.SampleAt),
+		Times:     p.Spec.InjectionTimes,
+		TestCases: p.Spec.TestCases,
+		Seed:      p.Spec.Seed,
+		BitStride: p.Spec.BitStride,
+	}
+	if f := p.Spec.Fault.Normalized(); !f.IsTransient() {
+		spec.FaultModel = f.Model.String()
+		spec.FaultWidth = f.Width
+		spec.Persist = f.Persist
+	}
 	return manifest{
-		Version: planVersion,
-		Plan:    p.Hash,
-		Dataset: p.Spec.Dataset,
-		Target:  p.Target,
-		Module:  p.Module.Name,
-		Vars:    vars,
-		Jobs:    len(p.Jobs),
-		Shards:  p.Shards,
-		Spec: manifestSpec{
-			InjectAt:  int(p.Spec.InjectAt),
-			SampleAt:  int(p.Spec.SampleAt),
-			Times:     p.Spec.InjectionTimes,
-			TestCases: p.Spec.TestCases,
-			Seed:      p.Spec.Seed,
-			BitStride: p.Spec.BitStride,
-		},
+		Version:  p.version(),
+		Plan:     p.Hash,
+		Dataset:  p.Spec.Dataset,
+		Target:   p.Target,
+		Module:   p.Module.Name,
+		Vars:     vars,
+		Jobs:     len(p.Jobs),
+		Shards:   p.Shards,
+		Spec:     spec,
 		Sections: sections,
 	}
 }

@@ -62,8 +62,26 @@ type Section struct {
 // planVersion is bumped whenever the canonical description or the
 // journal schema changes incompatibly, invalidating older journals.
 // v2 added per-section sub-hashes (and with them test-case contents)
-// to the plan hash.
-const planVersion = 2
+// to the plan hash. v3 added the fault-model axis — but only plans
+// with a non-transient fault describe (and hash) themselves as v3:
+// the default transient model emits the v2 canonical text with no
+// fault lines, byte-identical to pre-fault-model plans, so every
+// existing journal keeps its hash and resumes unchanged (see
+// Plan.version).
+const (
+	planVersion       = 3
+	planVersionLegacy = 2
+)
+
+// version selects the canonical-description version the plan hashes
+// and journals under: the legacy v2 for the default transient fault
+// model, v3 otherwise.
+func (p *Plan) version() int {
+	if p.Spec.Fault.IsTransient() {
+		return planVersionLegacy
+	}
+	return planVersion
+}
 
 // NewPlan resolves spec against target and builds the sharded work
 // plan. shards <= 0 selects a default that keeps shards around
@@ -135,7 +153,7 @@ func (p *Plan) sections(tcs []propane.TestCase) []Section {
 // structurally during incremental reconciliation, not hashed.
 func (p *Plan) sectionHash(tc propane.TestCase, jobs int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "edem-campaign-section v%d\n", planVersion)
+	fmt.Fprintf(&b, "edem-campaign-section v%d\n", p.version())
 	fmt.Fprintf(&b, "target %q\n", p.Target)
 	fmt.Fprintf(&b, "module %q\n", p.Module.Name)
 	for _, v := range p.Module.Vars {
@@ -146,6 +164,9 @@ func (p *Plan) sectionHash(tc propane.TestCase, jobs int) string {
 	fmt.Fprintf(&b, "inject %d sample %d\n", s.InjectAt, s.SampleAt)
 	fmt.Fprintf(&b, "times %v\n", s.InjectionTimes)
 	fmt.Fprintf(&b, "stride %d\n", s.BitStride)
+	if f := s.Fault.Normalized(); !f.IsTransient() {
+		fmt.Fprintf(&b, "fault %s %d %d\n", f.Model, f.Width, f.Persist)
+	}
 	fmt.Fprintf(&b, "tc %d seed %d\n", tc.ID, tc.Seed)
 	if len(tc.Params) > 0 {
 		keys := make([]string, 0, len(tc.Params))
@@ -168,7 +189,7 @@ func (p *Plan) sectionHash(tc propane.TestCase, jobs int) string {
 // global parameters and every section sub-hash.
 func (p *Plan) hash() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "edem-campaign-plan v%d\n", planVersion)
+	fmt.Fprintf(&b, "edem-campaign-plan v%d\n", p.version())
 	fmt.Fprintf(&b, "target %q\n", p.Target)
 	fmt.Fprintf(&b, "module %q\n", p.Module.Name)
 	for _, v := range p.Module.Vars {
@@ -179,6 +200,9 @@ func (p *Plan) hash() string {
 	fmt.Fprintf(&b, "inject %d sample %d\n", s.InjectAt, s.SampleAt)
 	fmt.Fprintf(&b, "times %v\n", s.InjectionTimes)
 	fmt.Fprintf(&b, "testcases %d seed %d stride %d\n", s.TestCases, s.Seed, s.BitStride)
+	if f := s.Fault.Normalized(); !f.IsTransient() {
+		fmt.Fprintf(&b, "fault %s %d %d\n", f.Model, f.Width, f.Persist)
+	}
 	fmt.Fprintf(&b, "jobs %d shards %d\n", len(p.Jobs), p.Shards)
 	for _, sec := range p.Sections {
 		fmt.Fprintf(&b, "section %d [%d,%d) %s\n", sec.TC, sec.Lo, sec.Hi, sec.Hash)

@@ -29,10 +29,12 @@ import (
 	"sort"
 	"time"
 
+	"edem/internal/bitflip"
 	"edem/internal/campaign"
 	"edem/internal/dataset"
 	"edem/internal/propane"
 	"edem/internal/targets/flightgear"
+	"edem/internal/targets/kvstore"
 	"edem/internal/targets/mp3gain"
 	"edem/internal/targets/sevenzip"
 	"edem/internal/telemetry"
@@ -85,6 +87,11 @@ type Options struct {
 	// Fork enables the campaign engine's golden-state forking fast
 	// path (bit-identical to the slow path; see campaign.Config.Fork).
 	Fork bool
+
+	// Fault selects the fault model for every campaign built from these
+	// options (transient single bit-flip by default; see bitflip.Fault).
+	// The zero value reproduces today's campaigns byte-for-byte.
+	Fault bitflip.Fault
 }
 
 // CampaignConfig derives the engine configuration for one dataset. The
@@ -192,6 +199,19 @@ var systems = map[string]struct {
 		times: func(Options) []int { return []int{2, 4, 6, 8} },
 		cases: func(o Options) int { return o.testCases() },
 	},
+	// KV is the replicated key-value store target. It is not part of the
+	// paper's Table II (AllDatasetIDs stays at the 18 published rows) but
+	// resolves through the same ID grammar, so KV-A1..KV-B3 run the full
+	// pipeline like any published dataset.
+	"KV": {
+		target: func(Options) propane.Target { return kvstore.System{} },
+		modules: map[byte]string{
+			'A': kvstore.ModuleReplicate,
+			'B': kvstore.ModuleQuorum,
+		},
+		times: func(Options) []int { return []int{2, 5, 8, 11} },
+		cases: func(o Options) int { return o.testCases() },
+	},
 }
 
 // AllDatasetIDs returns the 18 dataset names of Table II in table order.
@@ -253,6 +273,7 @@ func SpecFor(id string, opts Options) (propane.Target, propane.Spec, error) {
 		Seed:           opts.Seed,
 		Workers:        opts.Workers,
 		BitStride:      opts.bitStride(),
+		Fault:          opts.Fault,
 	}
 	return target, spec, nil
 }

@@ -2,11 +2,15 @@ package fabric
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"crypto/tls"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +40,16 @@ type CoordinatorConfig struct {
 	Registry *telemetry.Registry
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// AuthToken, when non-empty, requires every /fabric/v1 request to
+	// carry "Authorization: Bearer <token>". Tokens are compared in
+	// constant time (over SHA-256 digests, so length leaks nothing).
+	// /healthz stays open for load-balancer probes.
+	AuthToken string
+	// TLSCert/TLSKey are PEM file paths; when both are set Serve wraps
+	// its listener in TLS, protecting the bearer token (and the shard
+	// payloads) on cross-machine deployments.
+	TLSCert string
+	TLSKey  string
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -149,7 +163,7 @@ func (co *Coordinator) Status() PlanStatus {
 	co.mu.Unlock()
 	p := co.ledger.Plan()
 	done := co.ledger.DoneCount()
-	return PlanStatus{
+	st := PlanStatus{
 		Plan:     p.Hash,
 		Dataset:  p.Spec.Dataset,
 		Target:   p.Target,
@@ -159,6 +173,10 @@ func (co *Coordinator) Status() PlanStatus {
 		Leases:   nLeases,
 		Complete: done == p.Shards,
 	}
+	if f := p.Spec.Fault.Normalized(); !f.IsTransient() {
+		st.Fault = f.String()
+	}
+	return st
 }
 
 // sweepLocked drops expired leases. Callers hold co.mu.
@@ -295,6 +313,8 @@ func (co *Coordinator) complete(worker string, line []byte) (CompleteResponse, e
 }
 
 // Handler returns the coordinator's HTTP handler on a dedicated mux.
+// With cfg.AuthToken set, every /fabric/v1 endpoint demands bearer
+// auth; /healthz stays open.
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fabric/v1/plan", co.handlePlan)
@@ -302,13 +322,50 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("/fabric/v1/renew", co.handleRenew)
 	mux.HandleFunc("/fabric/v1/complete", co.handleComplete)
 	mux.HandleFunc("/healthz", co.handlePlan)
-	return mux
+	if co.cfg.AuthToken == "" {
+		return mux
+	}
+	return requireBearer(co.cfg.AuthToken, mux)
+}
+
+// requireBearer rejects /fabric/v1 requests whose Authorization header
+// does not carry the expected bearer token. Both sides are hashed
+// before comparing so the comparison is constant-time and independent
+// of token length.
+func requireBearer(token string, next http.Handler) http.Handler {
+	want := sha256.Sum256([]byte(token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/fabric/v1/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		auth := r.Header.Get("Authorization")
+		const prefix = "Bearer "
+		ok := false
+		if strings.HasPrefix(auth, prefix) {
+			got := sha256.Sum256([]byte(auth[len(prefix):]))
+			ok = subtle.ConstantTimeCompare(got[:], want[:]) == 1
+		}
+		if !ok {
+			writeJSON(w, http.StatusUnauthorized, ErrorResponse{Error: "unauthorized"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Serve runs the coordinator on ln until ctx is cancelled or the
 // campaign completes (plus the linger window), then drains, closes the
 // ledger and — when complete — seals the journal into canonical form.
+// When cfg.TLSCert/TLSKey are set the listener is wrapped in TLS.
 func (co *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
+	if co.cfg.TLSCert != "" || co.cfg.TLSKey != "" {
+		cert, err := tls.LoadX509KeyPair(co.cfg.TLSCert, co.cfg.TLSKey)
+		if err != nil {
+			return fmt.Errorf("fabric: load TLS keypair: %w", err)
+		}
+		ln = tls.NewListener(ln, &tls.Config{Certificates: []tls.Certificate{cert}})
+	}
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() {

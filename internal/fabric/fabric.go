@@ -64,9 +64,15 @@ import (
 // Plan (and build their executor with Shards) before leasing; `edem
 // fabric serve` polls it for progress logging.
 type PlanStatus struct {
-	Plan     string `json:"plan"`
-	Dataset  string `json:"dataset"`
-	Target   string `json:"target"`
+	Plan    string `json:"plan"`
+	Dataset string `json:"dataset"`
+	Target  string `json:"target"`
+	// Fault is the campaign's fault-model axis ("burst(width=3)", ...),
+	// omitted for the default transient model — older coordinators and
+	// workers that predate the axis interoperate unchanged on transient
+	// campaigns, and a fault-model mismatch still fails the plan-hash
+	// identity check before any shard is leased.
+	Fault    string `json:"fault,omitempty"`
 	Jobs     int    `json:"jobs"`
 	Shards   int    `json:"shards"`
 	Done     int    `json:"done"`

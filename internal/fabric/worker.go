@@ -36,6 +36,10 @@ type WorkerConfig struct {
 	Registry *telemetry.Registry
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
+	// AuthToken, when non-empty, is sent as "Authorization: Bearer
+	// <token>" on every coordinator call — required when the
+	// coordinator was started with an auth token.
+	AuthToken string
 }
 
 func (c WorkerConfig) withDefaults() WorkerConfig {
@@ -288,6 +292,9 @@ func (w *Worker) postRaw(ctx context.Context, path string, body []byte, out any)
 }
 
 func (w *Worker) do(req *http.Request, out any) error {
+	if w.cfg.AuthToken != "" {
+		req.Header.Set("Authorization", "Bearer "+w.cfg.AuthToken)
+	}
 	res, err := w.httpClient().Do(req)
 	if err != nil {
 		return err

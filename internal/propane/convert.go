@@ -23,10 +23,25 @@ var ErrNoRecords = errors.New("propane: campaign has no sampled records")
 // failure / nonfailure. Non-finite sampled values (NaN/Inf produced by
 // corrupted floating-point state) are clamped to large sentinels so the
 // learners see them as extreme but ordered magnitudes.
+//
+// Campaigns run under a non-transient fault model additionally carry
+// three fault-model attributes (fault_model as the Model ordinal,
+// fault_width, fault_persist) so the fault axis is available to mining
+// when datasets from several models are merged. Transient campaigns
+// omit them, keeping their ARFF output byte-identical to datasets
+// generated before the fault-model axis existed.
 func ToDataset(c *Campaign) (*dataset.Dataset, error) {
-	attrs := make([]dataset.Attribute, len(c.VarNames))
+	fault := c.Spec.Fault.Normalized()
+	faultAttrs := !fault.IsTransient()
+	attrs := make([]dataset.Attribute, len(c.VarNames), len(c.VarNames)+3)
 	for i, name := range c.VarNames {
 		attrs[i] = dataset.NumericAttr(name)
+	}
+	if faultAttrs {
+		attrs = append(attrs,
+			dataset.NumericAttr("fault_model"),
+			dataset.NumericAttr("fault_width"),
+			dataset.NumericAttr("fault_persist"))
 	}
 	d := dataset.New(c.Spec.Dataset, attrs, []string{ClassNonFailure, ClassFailure})
 	for i := range c.Records {
@@ -34,9 +49,13 @@ func ToDataset(c *Campaign) (*dataset.Dataset, error) {
 		if !r.Sampled {
 			continue
 		}
-		vals := make([]float64, len(r.State))
+		vals := make([]float64, len(r.State), len(attrs))
 		for j, v := range r.State {
 			vals[j] = finite(v)
+		}
+		if faultAttrs {
+			vals = append(vals,
+				float64(fault.Model), float64(fault.Width), float64(fault.Persist))
 		}
 		class := 0
 		if r.Failure {

@@ -38,6 +38,13 @@ type Spec struct {
 	// the paper's configuration). Larger strides scale campaigns down
 	// while preserving coverage of sign, exponent and mantissa regions.
 	BitStride int
+	// Fault selects the fault model applied at each cell. The zero
+	// value is the default transient single-bit flip, which keeps the
+	// spec's plan hash, journal and ARFF output byte-identical to specs
+	// that predate the fault-model axis. The model does not change the
+	// job enumeration — every model injects at the same (tc, var, bit,
+	// time) cells — only what each injection does to the variable.
+	Fault bitflip.Fault
 	// Fork opts into the golden-state forking fast path for targets
 	// implementing Forkable (see fork.go). It is an execution knob, not
 	// a result-determining parameter: records are bit-identical with it
@@ -69,6 +76,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.BitStride < 0 {
 		return fmt.Errorf("propane: bit stride %d must be >= 0", s.BitStride)
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -257,7 +267,7 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 
 	reg := telemetry.FromContext(ctx)
 	reg.Counter("campaign.golden_runs").Add(int64(len(tcs)))
-	metrics := NewRunMetrics(reg)
+	metrics := NewRunMetrics(reg).WithFault(spec.Fault)
 
 	// Fast path: fork every cell of a column from one golden snapshot
 	// instead of re-running the fault-free prefix per cell. Opt-in, and
@@ -315,14 +325,16 @@ func Run(ctx context.Context, target Target, spec Spec) (*Campaign, error) {
 // engine in internal/campaign) reports identical counters. A RunMetrics
 // built from a nil registry absorbs observations behind Enabled.
 type RunMetrics struct {
-	reg        *telemetry.Registry
-	cInjected  *telemetry.Counter
-	cActivated *telemetry.Counter
-	cSampled   *telemetry.Counter
-	cFailures  *telemetry.Counter
-	cCrashes   *telemetry.Counter
-	cFlipErrs  *telemetry.Counter
-	hRunNS     *telemetry.Histogram
+	reg            *telemetry.Registry
+	cInjected      *telemetry.Counter
+	cActivated     *telemetry.Counter
+	cSampled       *telemetry.Counter
+	cFailures      *telemetry.Counter
+	cCrashes       *telemetry.Counter
+	cFlipErrs      *telemetry.Counter
+	cFaultModelErr *telemetry.Counter
+	faultModel     bool
+	hRunNS         *telemetry.Histogram
 }
 
 // NewRunMetrics resolves the campaign.* run counters (runs injected,
@@ -331,15 +343,28 @@ type RunMetrics struct {
 // yields a disabled RunMetrics.
 func NewRunMetrics(reg *telemetry.Registry) *RunMetrics {
 	return &RunMetrics{
-		reg:        reg,
-		cInjected:  reg.Counter("campaign.runs_injected"),
-		cActivated: reg.Counter("campaign.injections_activated"),
-		cSampled:   reg.Counter("campaign.states_sampled"),
-		cFailures:  reg.Counter("campaign.failures"),
-		cCrashes:   reg.Counter("campaign.crashes"),
-		cFlipErrs:  reg.Counter("campaign.flip_errors"),
-		hRunNS:     reg.Histogram("campaign.run_ns"),
+		reg:            reg,
+		cInjected:      reg.Counter("campaign.runs_injected"),
+		cActivated:     reg.Counter("campaign.injections_activated"),
+		cSampled:       reg.Counter("campaign.states_sampled"),
+		cFailures:      reg.Counter("campaign.failures"),
+		cCrashes:       reg.Counter("campaign.crashes"),
+		cFlipErrs:      reg.Counter("campaign.flip_errors"),
+		cFaultModelErr: reg.Counter("campaign.fault_model_errors"),
+		hRunNS:         reg.Histogram("campaign.run_ns"),
 	}
+}
+
+// WithFault tells the metrics which fault model the campaign runs
+// under, so flip errors on a non-transient campaign are additionally
+// attributed to campaign.fault_model_errors — the counter that makes
+// unsupported fault-model × variable combinations visible instead of
+// letting them hide among ordinary flip errors. Returns m for chaining.
+func (m *RunMetrics) WithFault(f bitflip.Fault) *RunMetrics {
+	if m != nil {
+		m.faultModel = !f.IsTransient()
+	}
+	return m
 }
 
 // Enabled reports whether observations will be recorded; hot loops use
@@ -368,6 +393,9 @@ func (m *RunMetrics) Observe(rec Record, d time.Duration) {
 	}
 	if rec.FlipErr {
 		m.cFlipErrs.Inc()
+		if m.faultModel {
+			m.cFaultModelErr.Inc()
+		}
 	}
 }
 
@@ -396,6 +424,7 @@ func runInjected(target Target, spec Spec, mod ModuleInfo, tc TestCase, golden a
 		injTime:  injTime,
 		varName:  mod.Vars[varIdx].Name,
 		bit:      bit,
+		fault:    spec.Fault.Normalized(),
 	}
 	out, err := runSafely(target, tc, probe)
 	rec := Record{
@@ -430,12 +459,20 @@ func runSafely(target Target, tc TestCase, probe Probe) (out any, err error) {
 	return target.Run(tc, probe)
 }
 
-// injectProbe flips one bit of one variable at the configured activation
-// of the injection location, then samples the module state at the first
+// injectProbe corrupts one variable at the configured activation of the
+// injection location, then samples the module state at the first
 // subsequent visit of the sampling location. When injection and sampling
 // share a location the sample is taken in the same visit, immediately
-// after the flip (paper §VI-A: "inject errors at the end of a module,
-// and sample straight after the injection").
+// after the corruption (paper §VI-A: "inject errors at the end of a
+// module, and sample straight after the injection").
+//
+// The corruption shape is the probe's fault model. All four models
+// apply the same XOR mask at the injection activation (for transient
+// and burst that is the whole fault); the persistent models (stuck-at,
+// intermittent) additionally re-assert the corrupted bit value at every
+// subsequent activation of the injection location — stuck-at for the
+// rest of the run, intermittent for fault.Persist activations in total
+// — so the probe keeps receiving visits after the state was sampled.
 type injectProbe struct {
 	module   string
 	injectAt Location
@@ -443,44 +480,106 @@ type injectProbe struct {
 	injTime  int
 	varName  string
 	bit      int
+	fault    bitflip.Fault
 
 	activations int
 	injected    bool
 	sampled     bool
 	flipErr     bool
 	state       []float64
+
+	// Persistent-model bookkeeping: the masked stuck bit value being
+	// re-asserted, how many activations have asserted it, and whether
+	// the fault has been released (intermittent past its persist count,
+	// or an apply-time fault-model error).
+	stuckMask uint64
+	stuckVal  uint64
+	asserts   int
+	released  bool
 }
 
 var _ Probe = (*injectProbe)(nil)
 
 func (p *injectProbe) Visit(module string, loc Location, vars []VarRef) {
-	if module != p.module || p.sampled {
+	if module != p.module {
+		return
+	}
+	reasserting := p.injected && !p.released && p.fault.Persistent()
+	if p.sampled && !reasserting {
 		return
 	}
 	if loc == p.injectAt {
 		p.activations++
 		if !p.injected && p.activations == p.injTime {
-			for _, v := range vars {
-				if v.Name == p.varName {
-					// Width errors should not occur — the campaign
-					// enumerates bits from the declared kind — but a
-					// failed flip is a silent no-op injection, so it is
-					// surfaced on the record instead of discarded.
-					if err := v.FlipBit(p.bit); err != nil {
-						p.flipErr = true
-					}
-					break
-				}
-			}
+			p.apply(vars)
 			p.injected = true
-			if p.sampleAt == loc {
+			if p.sampleAt == loc && !p.sampled {
 				p.sample(vars)
 			}
 			return
 		}
+		if reasserting {
+			p.reassert(vars)
+		}
 	}
-	if loc == p.sampleAt && p.injected {
+	if loc == p.sampleAt && p.injected && !p.sampled {
 		p.sample(vars)
+	}
+}
+
+// apply performs the injection-activation corruption on the probe's
+// variable. A fault that cannot be applied (mask outside the variable's
+// kind, or a hand-built VarRef without raw-bit accessors under a
+// non-transient model) is a flip error: surfaced on the record and in
+// campaign.fault_model_errors, never a silently benign run.
+func (p *injectProbe) apply(vars []VarRef) {
+	for _, v := range vars {
+		if v.Name != p.varName {
+			continue
+		}
+		if p.fault.IsTransient() {
+			if err := v.FlipBit(p.bit); err != nil {
+				p.flipErr = true
+			}
+			return
+		}
+		mask, err := p.fault.Mask(v.Kind, p.bit)
+		if err != nil || v.Bits == nil || v.SetBits == nil {
+			p.flipErr = true
+			p.released = true
+			return
+		}
+		raw := v.Bits() ^ mask
+		v.SetBits(raw)
+		if p.fault.Persistent() {
+			p.stuckMask = mask
+			p.stuckVal = raw & mask
+			p.noteAssert()
+		}
+		return
+	}
+}
+
+// reassert forces the stuck bit value back into the variable at a
+// post-injection activation of the injection location.
+func (p *injectProbe) reassert(vars []VarRef) {
+	for _, v := range vars {
+		if v.Name != p.varName {
+			continue
+		}
+		v.SetBits(v.Bits()&^p.stuckMask | p.stuckVal)
+		p.noteAssert()
+		return
+	}
+}
+
+// noteAssert counts one assertion of the stuck value and releases an
+// intermittent fault once it has been asserted fault.Persist times.
+// Stuck-at faults never release.
+func (p *injectProbe) noteAssert() {
+	p.asserts++
+	if p.fault.Model == bitflip.Intermittent && p.asserts >= p.fault.Persist {
+		p.released = true
 	}
 }
 

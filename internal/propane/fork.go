@@ -353,6 +353,18 @@ func (f *ForkRunner) column(tcIdx int, tc TestCase, golden any, t int) *forkColu
 // correspond to j.TC. When the returned outcome is ForkFellBack the
 // record is meaningless and the caller must run the slow path.
 func (f *ForkRunner) RunJob(tcIdx int, tc TestCase, golden any, j Job) (Record, ForkOutcome) {
+	// Persistent fault models (stuck-at, intermittent) break the fast
+	// path's soundness argument: convergence and memoization both rest
+	// on "equal complete state ⇒ identical remaining execution", but a
+	// persistent probe carries future re-assertions that no target
+	// snapshot captures — two runs in equal states can still diverge
+	// when the fault re-asserts. Refuse the whole cell up front; the
+	// fallback is counted (campaign.fork_fallbacks, ForkStats), never
+	// silent.
+	if f.spec.Fault.Persistent() {
+		f.fallbacks.Add(1)
+		return Record{}, ForkFellBack
+	}
 	col := f.column(tcIdx, tc, golden, j.Time)
 	if !col.ok {
 		f.fallbacks.Add(1)
@@ -368,6 +380,7 @@ func (f *ForkRunner) RunJob(tcIdx int, tc TestCase, golden any, j Job) (Record, 
 		injTime:  1,
 		varName:  f.mod.Vars[j.Var].Name,
 		bit:      j.Bit,
+		fault:    f.spec.Fault.Normalized(),
 	}
 
 	var (

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"edem/internal/bitflip"
 )
 
 // The PROPANE-style log format: a self-describing line-oriented text
@@ -18,11 +20,16 @@ import (
 //	#module FHandle
 //	#inject Entry
 //	#sample Exit
+//	#fault burst 3 1
 //	#vars bytesIn bytesOut crc ...
 //	RUN tc=3 var=crc bit=17 t=2 inj=1 smp=1 fail=0 crash=0 state=1024,2048,...
 //
 // Fields are space-separated; the state vector is comma-separated and
-// omitted when no sample was captured.
+// omitted when no sample was captured. The #fault header carries the
+// campaign's fault model as "<model> <width> <persist>" and, like every
+// absent-value header, is omitted entirely for the default transient
+// model — transient logs are byte-identical to logs written before the
+// fault-model axis existed.
 
 // WriteLog serialises a campaign in the PROPANE log format. Header
 // lines whose value is absent (empty name, zero location, no vars) are
@@ -39,6 +46,9 @@ func WriteLog(w io.Writer, c *Campaign) error {
 	}
 	if c.Spec.SampleAt == Entry || c.Spec.SampleAt == Exit {
 		fmt.Fprintf(bw, "#sample %s\n", c.Spec.SampleAt)
+	}
+	if f := c.Spec.Fault.Normalized(); !f.IsTransient() {
+		fmt.Fprintf(bw, "#fault %s %d %d\n", f.Model, f.Width, f.Persist)
 	}
 	if len(c.VarNames) > 0 {
 		fmt.Fprintf(bw, "#vars %s\n", strings.Join(c.VarNames, " "))
@@ -105,6 +115,14 @@ func ReadLog(r io.Reader) (*Campaign, error) {
 				return nil, fmt.Errorf("propane: line %d: %w", lineNo, err)
 			}
 			c.Spec.SampleAt = loc
+		case line == "#fault":
+			// Empty fault header: nothing to set (transient default).
+		case strings.HasPrefix(line, "#fault "):
+			f, err := parseFaultHeader(line[len("#fault "):])
+			if err != nil {
+				return nil, fmt.Errorf("propane: line %d: %w", lineNo, err)
+			}
+			c.Spec.Fault = f
 		case strings.HasPrefix(line, "#vars "):
 			c.VarNames = strings.Fields(line[len("#vars "):])
 		case strings.HasPrefix(line, "RUN "):
@@ -121,6 +139,34 @@ func ReadLog(r io.Reader) (*Campaign, error) {
 		return nil, fmt.Errorf("propane: read log: %w", err)
 	}
 	return c, nil
+}
+
+// parseFaultHeader parses the "#fault <model> <width> <persist>" header
+// value. Width and persist are optional and default to 1.
+func parseFaultHeader(s string) (bitflip.Fault, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields) > 3 {
+		return bitflip.Fault{}, fmt.Errorf("bad fault header %q", s)
+	}
+	model, err := bitflip.ParseModel(fields[0])
+	if err != nil {
+		return bitflip.Fault{}, err
+	}
+	f := bitflip.Fault{Model: model, Width: 1, Persist: 1}
+	if len(fields) > 1 {
+		if f.Width, err = strconv.Atoi(fields[1]); err != nil {
+			return bitflip.Fault{}, fmt.Errorf("bad fault width %q", fields[1])
+		}
+	}
+	if len(fields) > 2 {
+		if f.Persist, err = strconv.Atoi(fields[2]); err != nil {
+			return bitflip.Fault{}, fmt.Errorf("bad fault persist %q", fields[2])
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return bitflip.Fault{}, err
+	}
+	return f, nil
 }
 
 func parseLocation(s string) (Location, error) {

@@ -22,6 +22,7 @@ package propane
 
 import (
 	"fmt"
+	"math"
 
 	"edem/internal/bitflip"
 )
@@ -53,12 +54,20 @@ func (l Location) String() string {
 // the target at each instrumentation visit. Read returns a numeric view
 // of the current value (used for state sampling); FlipBit mutates the
 // underlying variable by toggling one bit of its machine representation
-// (used for fault injection).
+// (the transient fault model). Bits and SetBits expose the raw machine
+// representation, zero-extended to 64 bits — the richer fault models
+// (burst, stuck-at, intermittent) corrupt and re-assert through them.
+//
+// Hand-built VarRefs may leave Bits/SetBits nil; such variables support
+// only the transient model and every other model surfaces a flip error
+// at apply time rather than silently recording an uninjected run.
 type VarRef struct {
 	Name    string
 	Kind    bitflip.Kind
 	Read    func() float64
 	FlipBit func(bit int) error
+	Bits    func() uint64
+	SetBits func(bits uint64)
 }
 
 // Float64Ref adapts a *float64 to a VarRef.
@@ -75,6 +84,27 @@ func Float64Ref(name string, p *float64) VarRef {
 			*p = v
 			return nil
 		},
+		Bits:    func() uint64 { return math.Float64bits(*p) },
+		SetBits: func(bits uint64) { *p = math.Float64frombits(bits) },
+	}
+}
+
+// Float32Ref adapts a *float32 to a VarRef.
+func Float32Ref(name string, p *float32) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Float32,
+		Read: func() float64 { return float64(*p) },
+		FlipBit: func(bit int) error {
+			v, err := bitflip.Float32Bit(*p, bit)
+			if err != nil {
+				return err
+			}
+			*p = v
+			return nil
+		},
+		Bits:    func() uint64 { return uint64(math.Float32bits(*p)) },
+		SetBits: func(bits uint64) { *p = math.Float32frombits(uint32(bits)) },
 	}
 }
 
@@ -92,6 +122,8 @@ func Int64Ref(name string, p *int64) VarRef {
 			*p = v
 			return nil
 		},
+		Bits:    func() uint64 { return uint64(*p) },
+		SetBits: func(bits uint64) { *p = int64(bits) },
 	}
 }
 
@@ -109,6 +141,27 @@ func Int32Ref(name string, p *int32) VarRef {
 			*p = v
 			return nil
 		},
+		Bits:    func() uint64 { return uint64(uint32(*p)) },
+		SetBits: func(bits uint64) { *p = int32(uint32(bits)) },
+	}
+}
+
+// Uint64Ref adapts a *uint64 to a VarRef.
+func Uint64Ref(name string, p *uint64) VarRef {
+	return VarRef{
+		Name: name,
+		Kind: bitflip.Uint64,
+		Read: func() float64 { return float64(*p) },
+		FlipBit: func(bit int) error {
+			v, err := bitflip.Uint64Bit(*p, bit)
+			if err != nil {
+				return err
+			}
+			*p = v
+			return nil
+		},
+		Bits:    func() uint64 { return *p },
+		SetBits: func(bits uint64) { *p = bits },
 	}
 }
 
@@ -126,6 +179,8 @@ func IntRef(name string, p *int) VarRef {
 			*p = int(v)
 			return nil
 		},
+		Bits:    func() uint64 { return uint64(int64(*p)) },
+		SetBits: func(bits uint64) { *p = int(int64(bits)) },
 	}
 }
 
@@ -148,6 +203,13 @@ func BoolRef(name string, p *bool) VarRef {
 			*p = v
 			return nil
 		},
+		Bits: func() uint64 {
+			if *p {
+				return 1
+			}
+			return 0
+		},
+		SetBits: func(bits uint64) { *p = bits&1 == 1 },
 	}
 }
 
